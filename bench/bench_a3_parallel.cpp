@@ -1,0 +1,62 @@
+// A3 — the paper's section-4 perspective, implemented: parallel step 2
+// (seed-code range partition; the order rule keeps workers disjoint) and
+// parallel step 3 (subject-sequence partition).
+//
+// Sweeps thread counts and reports per-step and total times.  NOTE: this
+// container exposes a single hardware core, so wall-clock speed-ups are
+// not expected here; the bench demonstrates thread-count invariance of the
+// result and measures the coordination overhead.
+#include <thread>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scoris;
+  const auto args = bench::parse_bench_args(argc, argv, 0.03);
+  bench::print_preamble("A3: parallel step 2 / step 3 scaling", args);
+  std::cout << "hardware threads available: "
+            << std::thread::hardware_concurrency() << "\n";
+
+  const simulate::PaperData data(args.scale, args.seed);
+  const auto bank1 = data.make("EST3");
+  const auto bank2 = data.make("EST4");
+
+  util::Table table({"threads", "step2 (s)", "step3 (s)", "total (s)",
+                     "alignments", "identical to 1-thread"});
+  table.set_title("EST3 vs EST4, thread sweep");
+
+  std::vector<align::GappedAlignment> reference;
+  for (const int threads : {1, 2, 4, 8}) {
+    core::Options opt;
+    opt.threads = threads;
+    const auto r = core::Pipeline(opt).run(bank1, bank2);
+    bool identical = true;
+    if (threads == 1) {
+      reference = r.alignments;
+    } else {
+      identical = r.alignments.size() == reference.size();
+      for (std::size_t i = 0; identical && i < reference.size(); ++i) {
+        identical = reference[i].s1 == r.alignments[i].s1 &&
+                    reference[i].e1 == r.alignments[i].e1 &&
+                    reference[i].s2 == r.alignments[i].s2 &&
+                    reference[i].e2 == r.alignments[i].e2 &&
+                    reference[i].score == r.alignments[i].score;
+      }
+    }
+    table.add_row({std::to_string(threads),
+                   util::Table::fmt(r.stats.hsp_seconds, 2),
+                   util::Table::fmt(r.stats.gapped_seconds, 2),
+                   util::Table::fmt(r.stats.total_seconds, 2),
+                   util::Table::fmt_int(static_cast<long long>(
+                       r.alignments.size())),
+                   identical ? "yes" : "NO"});
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nExpected shape (on multi-core hardware): near-linear step-2\n"
+               "scaling — the seed-order rule makes worker outputs disjoint\n"
+               "with no de-duplication barrier, exactly the paper's claim.\n"
+               "Results must be identical for every thread count.\n";
+  return 0;
+}

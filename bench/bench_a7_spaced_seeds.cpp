@@ -1,0 +1,53 @@
+// A7 — seed-model sensitivity (the paper's section-1 discussion): hit
+// probability of the contiguous 11-mer (ORIS's choice), contiguous 10-mer,
+// the asymmetric-10 model, and PatternHunter's spaced weight-11 seed, as a
+// function of region identity.
+//
+// Reproduces the classic PatternHunter curve: at equal weight, the spaced
+// seed dominates the contiguous one on diverged homologies; ORIS trades
+// that sensitivity for the ordering/rolling machinery that makes its
+// enumeration fast (the paper's stated positioning).
+#include "common.hpp"
+
+#include "index/spaced_seed.hpp"
+#include "simulate/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scoris;
+  const auto args = bench::parse_bench_args(argc, argv);
+  bench::print_preamble("A7: seed-model hit sensitivity (64-nt regions)",
+                        args);
+
+  const int trials = 4000;
+  simulate::Rng rng(args.seed);
+
+  util::Table table({"identity", "contiguous 11", "contiguous 10",
+                     "asym-10 (x0.5 hits)", "PatternHunter w11"});
+  table.set_title("P(at least one seed hit in a 64-nt homologous region)");
+
+  const auto& ph = index::SpacedSeed::pattern_hunter();
+  const auto c11 = index::SpacedSeed::contiguous(11);
+  const auto c10 = index::SpacedSeed::contiguous(10);
+
+  for (const double identity : {0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95}) {
+    const double s11 = index::hit_sensitivity(c11, identity, 64, rng, trials);
+    const double s10 = index::hit_sensitivity(c10, identity, 64, rng, trials);
+    // Asymmetric-10: every 10-mer hit survives with probability ~0.5
+    // (stride-2 subsampling), but 11-mer hits are always found: approximate
+    // P(asym) = s11 + 0.5 * (s10 - s11).
+    const double asym = s11 + 0.5 * (s10 - s11);
+    const double sph = index::hit_sensitivity(ph, identity, 64, rng, trials);
+    table.add_row({util::Table::fmt(identity, 2), util::Table::fmt(s11, 3),
+                   util::Table::fmt(s10, 3), util::Table::fmt(asym, 3),
+                   util::Table::fmt(sph, 3)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nExpected shape: PatternHunter > contiguous-10 > asym-10 >\n"
+               "contiguous-11 at low identity, all converging to 1.0 at high\n"
+               "identity.  The paper's asymmetric-10 mode (section 3.4) buys\n"
+               "back roughly half the 10-mer sensitivity gap at half the\n"
+               "10-mer hit cost, without giving up ordered enumeration.\n";
+  return 0;
+}

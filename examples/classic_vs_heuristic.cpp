@@ -1,0 +1,78 @@
+// classic_vs_heuristic — the paper's introduction in code: optimal dynamic
+// programming (Needleman-Wunsch / Smith-Waterman / Gotoh) against the
+// seed-based heuristic, on the same diverged sequence pair.
+//
+// Shows (1) the heuristic finds the same alignment region with a score close
+// to the Gotoh optimum, and (2) the quadratic cost of the optimal methods vs
+// the near-linear cost of the seed approach as lengths grow.
+//
+// Usage: classic_vs_heuristic [--len N] [--divergence D] [--seed N]
+#include <iostream>
+
+#include "align/classic.hpp"
+#include "core/pipeline.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/mutate.hpp"
+#include "simulate/rng.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scoris;
+  const util::Args args = util::Args::parse(argc, argv);
+  const auto len = static_cast<std::size_t>(args.get_int("len", 3000));
+  const double divergence = args.get_double("divergence", 0.08);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  simulate::Rng rng(seed);
+  const auto original = simulate::random_codes(rng, len);
+  const auto mutated = simulate::mutate(
+      rng, original, simulate::MutationModel::with_divergence(divergence));
+
+  const align::ScoringParams params;
+  util::Table table({"method", "score", "time (ms)", "complexity"});
+  table.set_title("One sequence pair, length " + std::to_string(len) +
+                  ", divergence " + util::Table::fmt(divergence, 2));
+
+  util::WallTimer t;
+  const auto nw = align::needleman_wunsch(original, mutated, params);
+  table.add_row({"Needleman-Wunsch (global)", std::to_string(nw.score),
+                 util::Table::fmt(t.millis(), 1), "O(nm)"});
+
+  t.reset();
+  const auto sw = align::smith_waterman(original, mutated, params);
+  table.add_row({"Smith-Waterman (local)", std::to_string(sw.score),
+                 util::Table::fmt(t.millis(), 1), "O(nm)"});
+
+  t.reset();
+  const auto go = align::gotoh_local(original, mutated, params);
+  table.add_row({"Gotoh (affine local)", std::to_string(go.score),
+                 util::Table::fmt(t.millis(), 1), "O(nm)"});
+
+  // The heuristic: banks of one sequence each through the full pipeline.
+  seqio::SequenceBank b1("b1"), b2("b2");
+  b1.add_codes("original", original);
+  b2.add_codes("mutated", mutated);
+  core::Options opt;
+  opt.dust = false;
+  t.reset();
+  const core::Result r = core::Pipeline(opt).run(b1, b2);
+  const double heuristic_ms = t.millis();
+  std::int64_t best = 0;
+  for (const auto& a : r.alignments) best = std::max<std::int64_t>(best, a.score);
+  table.add_row({"ORIS seed heuristic (gapped)", std::to_string(best),
+                 util::Table::fmt(heuristic_ms, 1), "~O(n + hits)"});
+  table.print(std::cout);
+
+  if (go.score > 0) {
+    std::cout << "\nHeuristic recovers "
+              << util::Table::fmt(100.0 * static_cast<double>(best) /
+                                      static_cast<double>(go.score),
+                                  1)
+              << " % of the affine-optimal score.\n";
+  }
+  std::cout << "(The classic methods are exact but quadratic — the paper's "
+               "motivation for seeds.)\n";
+  return 0;
+}

@@ -1,0 +1,203 @@
+// scoris_n — the SCORIS-N command-line tool (the paper's prototype).
+//
+// Compares two DNA banks in FASTA format and writes BLAST -m 8 tabular
+// output, exactly like
+//     blastall -p blastn -d bank1 -i bank2 -o out -m 8 -e 0.001 -S 1
+// but using the ORIS algorithm.
+//
+// Usage:
+//   scoris_n <bank1.fa> <bank2.fa> [--out FILE] [--w N] [--evalue E]
+//            [--threads N] [--asymmetric] [--no-dust] [--s1 SCORE]
+//            [--baseline]   (run the BLASTN-style baseline instead)
+//            [--stats]      (print per-step statistics to stderr)
+#include <fstream>
+#include <iostream>
+
+#include "align/display.hpp"
+#include "align/gapped.hpp"
+#include "blast/blastn.hpp"
+#include "blast/blat_like.hpp"
+#include "compare/m8.hpp"
+#include "core/pipeline.hpp"
+#include "seqio/fasta.hpp"
+#include "seqio/serialize.hpp"
+#include "seqio/strand.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+void print_usage(const char* prog) {
+  std::cerr
+      << "usage: " << prog << " <bank1.fa> <bank2.fa> [options]\n"
+      << "  --out FILE      write m8 output to FILE (default: stdout)\n"
+      << "  --w N           seed length (default 11)\n"
+      << "  --evalue E      e-value cutoff (default 1e-3)\n"
+      << "  --threads N     worker threads for steps 2-3 (default 1)\n"
+      << "  --strand S      plus (default, paper's -S 1), minus, or both\n"
+      << "  --asymmetric    10-nt words, stride-2 index on bank2\n"
+      << "  --no-dust       disable the low-complexity filter\n"
+      << "  --s1 SCORE      minimum HSP raw score (default 25)\n"
+      << "  --save-banks P  also write banks as P_1.scob / P_2.scob\n"
+      << "  --align N       also print full pairwise alignments of the top N\n"
+      << "  --baseline      run the BLASTN-style baseline instead of ORIS\n"
+      << "  --blat          run the BLAT-style comparator instead of ORIS\n"
+      << "  --stats         print per-step statistics to stderr\n";
+}
+
+scoris::seqio::Strand parse_strand(const std::string& s) {
+  if (s == "minus") return scoris::seqio::Strand::kMinus;
+  if (s == "both") return scoris::seqio::Strand::kBoth;
+  return scoris::seqio::Strand::kPlus;
+}
+
+/// Print BLAST-style full pairwise alignments of the top `n` results.
+void print_full_alignments(std::ostream& os,
+                           const std::vector<scoris::align::GappedAlignment>&
+                               alignments,
+                           const scoris::seqio::SequenceBank& bank1,
+                           const scoris::seqio::SequenceBank& bank2,
+                           const scoris::align::ScoringParams& scoring,
+                           std::size_t n) {
+  using namespace scoris;
+  const seqio::SequenceBank rc = seqio::reverse_complement(bank2);
+  for (std::size_t k = 0; k < alignments.size() && k < n; ++k) {
+    const auto& a = alignments[k];
+    const seqio::SequenceBank& subject_bank = a.minus ? rc : bank2;
+    std::vector<align::AlignOp> ops;
+    std::int32_t score = 0;
+    (void)align::banded_global_stats(bank1.data(), a.s1, a.e1,
+                                     subject_bank.data(), a.s2, a.e2, scoring,
+                                     &score, &ops);
+    os << ">" << bank1.seq_name(a.seq1) << " vs "
+       << bank2.seq_name(a.seq2) << (a.minus ? " (minus strand)" : "")
+       << "  score=" << score << " evalue=" << a.evalue
+       << " cigar=" << align::to_cigar(ops) << '\n';
+    os << align::render_alignment(bank1.data(), a.s1,
+                                  a.s1 - bank1.offset(a.seq1),
+                                  subject_bank.data(), a.s2,
+                                  a.s2 - subject_bank.offset(a.seq2), ops)
+       << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scoris;
+  const util::Args args = util::Args::parse(argc, argv);
+  if (args.positional().size() != 2) {
+    print_usage(argv[0]);
+    return 2;
+  }
+
+  // Banks load from FASTA or from the binary .scob format (parse once,
+  // reload fast — see seqio/serialize.hpp).
+  const auto load_any = [](const std::string& path) {
+    if (path.size() > 5 && path.substr(path.size() - 5) == ".scob") {
+      return scoris::seqio::load_bank_file(path);
+    }
+    return scoris::seqio::read_fasta_file(path);
+  };
+  seqio::SequenceBank bank1;
+  seqio::SequenceBank bank2;
+  try {
+    bank1 = load_any(args.positional()[0]);
+    bank2 = load_any(args.positional()[1]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  if (args.has("save-banks")) {
+    // Write both banks in binary form next to the given prefix.
+    const std::string prefix = args.get("save-banks");
+    seqio::save_bank_file(prefix + "_1.scob", bank1);
+    seqio::save_bank_file(prefix + "_2.scob", bank2);
+  }
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (args.has("out")) {
+    out_file.open(args.get("out"));
+    if (!out_file) {
+      std::cerr << "error: cannot create " << args.get("out") << '\n';
+      return 1;
+    }
+    out = &out_file;
+  }
+
+  const bool want_stats = args.get_flag("stats");
+  const auto strand = parse_strand(args.get("strand", "plus"));
+  const auto align_top = static_cast<std::size_t>(args.get_int("align", 0));
+
+  if (args.get_flag("baseline")) {
+    blast::BlastOptions opt;
+    opt.w = static_cast<int>(args.get_int("w", 11));
+    opt.max_evalue = args.get_double("evalue", 1e-3);
+    opt.dust = !args.get_flag("no-dust");
+    opt.min_hsp_score = static_cast<int>(args.get_int("s1", 25));
+    opt.threads = static_cast<int>(args.get_int("threads", 1));
+    opt.strand = strand;
+    const blast::BlastResult r = blast::BlastN(opt).run(bank1, bank2);
+    compare::write_m8(*out, r.alignments, bank1, bank2);
+    if (align_top > 0) {
+      print_full_alignments(*out, r.alignments, bank1, bank2, opt.scoring,
+                            align_top);
+    }
+    if (want_stats) {
+      std::cerr << "baseline: " << r.alignments.size() << " alignments, "
+                << r.stats.hit_pairs << " hits, " << r.stats.hsps
+                << " HSPs, scan " << r.stats.scan_seconds << "s, gapped "
+                << r.stats.gapped_seconds << "s, total "
+                << r.stats.total_seconds << "s\n";
+    }
+    return 0;
+  }
+
+  if (args.get_flag("blat")) {
+    blast::BlatOptions opt;
+    opt.w = static_cast<int>(args.get_int("w", 11));
+    opt.max_evalue = args.get_double("evalue", 1e-3);
+    opt.dust = !args.get_flag("no-dust");
+    opt.min_hsp_score = static_cast<int>(args.get_int("s1", 25));
+    opt.threads = static_cast<int>(args.get_int("threads", 1));
+    opt.strand = strand;
+    const blast::BlatResult r = blast::BlatLike(opt).run(bank1, bank2);
+    compare::write_m8(*out, r.alignments, bank1, bank2);
+    if (align_top > 0) {
+      print_full_alignments(*out, r.alignments, bank1, bank2, opt.scoring,
+                            align_top);
+    }
+    if (want_stats) {
+      std::cerr << "blat-like: " << r.alignments.size() << " alignments, "
+                << r.stats.hit_pairs << " hits, " << r.stats.hsps
+                << " HSPs, total " << r.stats.total_seconds << "s\n";
+    }
+    return 0;
+  }
+
+  core::Options opt;
+  opt.w = static_cast<int>(args.get_int("w", 11));
+  opt.max_evalue = args.get_double("evalue", 1e-3);
+  opt.asymmetric = args.get_flag("asymmetric");
+  opt.dust = !args.get_flag("no-dust");
+  opt.min_hsp_score = static_cast<int>(args.get_int("s1", 25));
+  opt.threads = static_cast<int>(args.get_int("threads", 1));
+  opt.strand = strand;
+
+  const core::Pipeline pipeline(opt);
+  const core::Result r = pipeline.run(bank1, bank2);
+  core::write_result_m8(*out, r, bank1, bank2);
+  if (align_top > 0) {
+    print_full_alignments(*out, r.alignments, bank1, bank2, opt.scoring,
+                          align_top);
+  }
+  if (want_stats) {
+    std::cerr << "scoris-n: " << r.alignments.size() << " alignments, "
+              << r.stats.hit_pairs << " hits (" << r.stats.order_aborts
+              << " order-aborted), " << r.stats.hsps << " HSPs\n"
+              << "  step1 " << r.stats.index_seconds << "s, step2 "
+              << r.stats.hsp_seconds << "s, step3 " << r.stats.gapped_seconds
+              << "s, total " << r.stats.total_seconds << "s\n";
+  }
+  return 0;
+}

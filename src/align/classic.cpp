@@ -1,0 +1,128 @@
+#include "align/classic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace scoris::align {
+namespace {
+
+using seqio::Code;
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+
+}  // namespace
+
+ClassicResult needleman_wunsch(std::span<const Code> a,
+                               std::span<const Code> b,
+                               const ScoringParams& params) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const int ge = params.gap_extend;
+
+  std::vector<std::int64_t> prev(m + 1);
+  std::vector<std::int64_t> cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) {
+    prev[j] = -static_cast<std::int64_t>(j) * ge;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = -static_cast<std::int64_t>(i) * ge;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::int64_t diag = prev[j - 1] + params.score(a[i - 1], b[j - 1]);
+      const std::int64_t up = prev[j] - ge;
+      const std::int64_t left = cur[j - 1] - ge;
+      cur[j] = std::max({diag, up, left});
+    }
+    prev.swap(cur);
+  }
+  ClassicResult r;
+  r.score = prev[m];
+  r.e1 = n;
+  r.e2 = m;
+  return r;
+}
+
+ClassicResult smith_waterman(std::span<const Code> a, std::span<const Code> b,
+                             const ScoringParams& params) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const int ge = params.gap_extend;
+
+  std::vector<std::int64_t> prev(m + 1, 0);
+  std::vector<std::int64_t> cur(m + 1, 0);
+  ClassicResult best;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::int64_t diag = prev[j - 1] + params.score(a[i - 1], b[j - 1]);
+      const std::int64_t up = prev[j] - ge;
+      const std::int64_t left = cur[j - 1] - ge;
+      cur[j] = std::max<std::int64_t>({0, diag, up, left});
+      if (cur[j] > best.score) {
+        best.score = cur[j];
+        best.e1 = i;
+        best.e2 = j;
+      }
+    }
+    prev.swap(cur);
+  }
+  return best;
+}
+
+ClassicResult gotoh_local(std::span<const Code> a, std::span<const Code> b,
+                          const ScoringParams& params) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const int gf = params.gap_first();
+  const int ge = params.gap_extend;
+
+  std::vector<std::int64_t> h_prev(m + 1, 0);
+  std::vector<std::int64_t> h_cur(m + 1, 0);
+  std::vector<std::int64_t> f(m + 1, kNegInf);
+  ClassicResult best;
+  for (std::size_t i = 1; i <= n; ++i) {
+    h_cur[0] = 0;
+    std::int64_t e = kNegInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      f[j] = std::max(h_prev[j] - gf, f[j] - ge);
+      e = std::max(h_cur[j - 1] - gf, e - ge);
+      const std::int64_t diag = h_prev[j - 1] + params.score(a[i - 1], b[j - 1]);
+      h_cur[j] = std::max<std::int64_t>({0, diag, e, f[j]});
+      if (h_cur[j] > best.score) {
+        best.score = h_cur[j];
+        best.e1 = i;
+        best.e2 = j;
+      }
+    }
+    h_prev.swap(h_cur);
+  }
+  return best;
+}
+
+ClassicResult best_ungapped_local(std::span<const Code> a,
+                                  std::span<const Code> b,
+                                  const ScoringParams& params) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  ClassicResult best;
+  // Walk every diagonal; on each, a 1-D Kadane scan over pair scores.
+  for (std::int64_t d = -static_cast<std::int64_t>(m) + 1;
+       d < static_cast<std::int64_t>(n); ++d) {
+    std::size_t i = d >= 0 ? static_cast<std::size_t>(d) : 0;
+    std::size_t j = d >= 0 ? 0 : static_cast<std::size_t>(-d);
+    std::int64_t run = 0;
+    while (i < n && j < m) {
+      run = std::max<std::int64_t>(0, run) + params.score(a[i], b[j]);
+      if (run > best.score) {
+        best.score = run;
+        best.e1 = i + 1;
+        best.e2 = j + 1;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace scoris::align

@@ -1,0 +1,53 @@
+// Classic full-matrix dynamic-programming aligners.
+//
+// These are the optimal algorithms the paper's introduction positions ORIS
+// against (Needleman–Wunsch 1970, Smith–Waterman 1981, Gotoh 1982).  In
+// this repository they serve as exact oracles for the heuristic pipeline's
+// tests — any HSP or gapped alignment SCORIS-N reports must be bounded by
+// the corresponding optimal score — and as the reference implementation in
+// examples/classic_vs_heuristic.cpp.  All are O(n*m) time and use linear or
+// quadratic memory as noted; intended for short sequences only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "align/scoring.hpp"
+#include "seqio/nucleotide.hpp"
+
+namespace scoris::align {
+
+/// Result of a classic DP alignment.
+struct ClassicResult {
+  std::int64_t score = 0;
+  // Local coordinates [s, e) of the optimal local alignment within each
+  // input (only meaningful for the local variants; for global alignment
+  // they span the whole inputs).
+  std::size_t s1 = 0, e1 = 0, s2 = 0, e2 = 0;
+};
+
+/// Needleman–Wunsch global alignment score with linear gap cost
+/// (gap_extend per gap column; gap_open ignored). O(min(n,m)) memory.
+[[nodiscard]] ClassicResult needleman_wunsch(std::span<const seqio::Code> a,
+                                             std::span<const seqio::Code> b,
+                                             const ScoringParams& params);
+
+/// Smith–Waterman best local alignment score, linear gap cost.
+[[nodiscard]] ClassicResult smith_waterman(std::span<const seqio::Code> a,
+                                           std::span<const seqio::Code> b,
+                                           const ScoringParams& params);
+
+/// Gotoh best local alignment score with affine gaps
+/// (gap_open + k*gap_extend for a k-column gap run).
+[[nodiscard]] ClassicResult gotoh_local(std::span<const seqio::Code> a,
+                                        std::span<const seqio::Code> b,
+                                        const ScoringParams& params);
+
+/// Best *ungapped* local alignment score (maximum-scoring diagonal run).
+/// Exact oracle for HSP scores: no heuristic HSP can beat this.
+[[nodiscard]] ClassicResult best_ungapped_local(
+    std::span<const seqio::Code> a, std::span<const seqio::Code> b,
+    const ScoringParams& params);
+
+}  // namespace scoris::align

@@ -1,0 +1,113 @@
+#include "align/display.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scoris::align {
+namespace {
+
+using seqio::Code;
+
+char op_char(AlignOp op) {
+  switch (op) {
+    case AlignOp::kMatch: return 'M';
+    case AlignOp::kGapInSeq1: return 'I';
+    case AlignOp::kGapInSeq2: return 'D';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_alignment(std::span<const Code> seq1,
+                             std::size_t s1_global, std::size_t q_local_start,
+                             std::span<const Code> seq2,
+                             std::size_t s2_global, std::size_t s_local_start,
+                             const std::vector<AlignOp>& ops,
+                             const DisplayOptions& options) {
+  // Expand the three display rows column by column.
+  std::string qrow, mrow, srow;
+  qrow.reserve(ops.size());
+  mrow.reserve(ops.size());
+  srow.reserve(ops.size());
+  std::size_t i = s1_global;
+  std::size_t j = s2_global;
+  for (const AlignOp op : ops) {
+    switch (op) {
+      case AlignOp::kMatch: {
+        const Code a = seq1[i++];
+        const Code b = seq2[j++];
+        qrow.push_back(seqio::decode_base(a));
+        srow.push_back(seqio::decode_base(b));
+        mrow.push_back(seqio::is_base(a) && a == b ? '|' : ' ');
+        break;
+      }
+      case AlignOp::kGapInSeq1:
+        qrow.push_back('-');
+        srow.push_back(seqio::decode_base(seq2[j++]));
+        mrow.push_back(' ');
+        break;
+      case AlignOp::kGapInSeq2:
+        qrow.push_back(seqio::decode_base(seq1[i++]));
+        srow.push_back('-');
+        mrow.push_back(' ');
+        break;
+    }
+  }
+
+  // Emit width-column blocks with running 1-based local coordinates.
+  const int width = std::max(10, options.width);
+  const std::size_t label_w =
+      std::max(options.query_label.size(), options.sbjct_label.size());
+  std::ostringstream out;
+  std::size_t q_pos = q_local_start + 1;  // next query base, 1-based
+  std::size_t s_pos = s_local_start + 1;
+  for (std::size_t col = 0; col < qrow.size();
+       col += static_cast<std::size_t>(width)) {
+    const std::size_t n = std::min<std::size_t>(
+        static_cast<std::size_t>(width), qrow.size() - col);
+    const std::string qseg = qrow.substr(col, n);
+    const std::string mseg = mrow.substr(col, n);
+    const std::string sseg = srow.substr(col, n);
+    const std::size_t q_bases =
+        static_cast<std::size_t>(std::count_if(qseg.begin(), qseg.end(),
+                                               [](char c) { return c != '-'; }));
+    const std::size_t s_bases =
+        static_cast<std::size_t>(std::count_if(sseg.begin(), sseg.end(),
+                                               [](char c) { return c != '-'; }));
+
+    const auto pad = [&](const std::string& label) {
+      return label + std::string(label_w - label.size(), ' ');
+    };
+    out << pad(options.query_label) << ' ' << q_pos << '\t' << qseg << '\t'
+        << (q_pos + q_bases - 1) << '\n';
+    out << pad("") << ' ' << std::string(std::to_string(q_pos).size(), ' ')
+        << '\t' << mseg << '\n';
+    out << pad(options.sbjct_label) << ' ' << s_pos << '\t' << sseg << '\t'
+        << (s_pos + s_bases - 1) << '\n';
+    if (col + n < qrow.size()) out << '\n';
+    q_pos += q_bases;
+    s_pos += s_bases;
+  }
+  return out.str();
+}
+
+std::string to_cigar(const std::vector<AlignOp>& ops) {
+  std::string out;
+  std::size_t run = 0;
+  char cur = 0;
+  for (const AlignOp op : ops) {
+    const char c = op_char(op);
+    if (c == cur) {
+      ++run;
+    } else {
+      if (run > 0) out += std::to_string(run) + cur;
+      cur = c;
+      run = 1;
+    }
+  }
+  if (run > 0) out += std::to_string(run) + cur;
+  return out;
+}
+
+}  // namespace scoris::align

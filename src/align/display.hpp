@@ -1,0 +1,43 @@
+// Pairwise alignment rendering.
+//
+// The paper's prototype "does not report full alignments. It only displays
+// the alignment features as it is done in the -m 8 option of BLASTN"
+// (section 3.1); full pairwise display is the obvious next-release feature
+// and is provided here: a classic BLAST-style three-line block layout
+//
+//   Query    101 ACGTACGT-ACGT 112
+//                |||| ||| ||||
+//   Sbjct   2201 ACGTTCGTAACGT 2213
+//
+// plus a CIGAR serialization of the operation list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/gapped.hpp"
+#include "align/records.hpp"
+
+namespace scoris::align {
+
+struct DisplayOptions {
+  int width = 60;            ///< alignment columns per block
+  std::string query_label = "Query";
+  std::string sbjct_label = "Sbjct";
+};
+
+/// Render the alignment of seq1[s1..) vs seq2[s2..) described by `ops`.
+/// Coordinates printed are 1-based and local (caller passes local starts).
+/// `minus` flips the reported subject coordinates (minus-strand display):
+/// the subject positions count down from `s2_local + consumed`.
+[[nodiscard]] std::string render_alignment(
+    std::span<const seqio::Code> seq1, std::size_t s1_global,
+    std::size_t q_local_start, std::span<const seqio::Code> seq2,
+    std::size_t s2_global, std::size_t s_local_start,
+    const std::vector<AlignOp>& ops, const DisplayOptions& options = {});
+
+/// CIGAR string for an operation list (M / I / D run-length encoded;
+/// I = gap in seq1 consuming seq2, D = gap in seq2 consuming seq1).
+[[nodiscard]] std::string to_cigar(const std::vector<AlignOp>& ops);
+
+}  // namespace scoris::align

@@ -1,0 +1,177 @@
+#include "align/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace scoris::align {
+namespace {
+
+using seqio::Code;
+using seqio::kSentinel;
+using seqio::Pos;
+
+constexpr std::int64_t kUnreached = -1;
+
+struct OneDirGreedy {
+  std::int64_t score2 = 0;  // doubled score: r*(i+j) - d*(2p + r)
+  std::size_t len1 = 0;
+  std::size_t len2 = 0;
+  std::uint32_t differences = 0;
+};
+
+/// One-direction greedy extension of the implicit suffixes a[0..) b[0..)
+/// (dir = +1 forward from the anchors, -1 backward).
+OneDirGreedy greedy_one_direction(std::span<const Code> seq1, Pos anchor1,
+                                  std::span<const Code> seq2, Pos anchor2,
+                                  int dir, std::size_t max_extent,
+                                  const ScoringParams& params) {
+  OneDirGreedy best;
+  const std::size_t n1 =
+      std::min(max_extent, dir > 0 ? seq1.size() - anchor1
+                                   : static_cast<std::size_t>(anchor1));
+  const std::size_t n2 =
+      std::min(max_extent, dir > 0 ? seq2.size() - anchor2
+                                   : static_cast<std::size_t>(anchor2));
+  if (n1 == 0 || n2 == 0) return best;
+
+  const auto a = [&](std::size_t i) -> Code {
+    return seq1[dir > 0 ? anchor1 + i
+                        : static_cast<std::size_t>(anchor1 - 1 - i)];
+  };
+  const auto b = [&](std::size_t j) -> Code {
+    return seq2[dir > 0 ? anchor2 + j
+                        : static_cast<std::size_t>(anchor2 - 1 - j)];
+  };
+
+  const std::int64_t r = params.match;
+  const std::int64_t p = params.mismatch;
+  const std::int64_t diff_cost2 = 2 * p + r;  // doubled cost per difference
+  const std::int64_t xdrop2 = 2 * params.xdrop_gapped;
+
+  // Slide along exact matches from (i, j); returns the new i (j moves in
+  // lockstep).  Sentinels and ambiguous bases stop the slide (they can
+  // never match).
+  const auto slide = [&](std::size_t i, std::size_t j) -> std::size_t {
+    while (i < n1 && j < n2) {
+      const Code x = a(i);
+      if (x == kSentinel || b(j) == kSentinel) break;
+      if (!seqio::is_base(x) || x != b(j)) break;
+      ++i;
+      ++j;
+    }
+    return i;
+  };
+
+  // Hard boundaries: a sentinel ends the usable span on its axis.  Found
+  // lazily during slides/steps; conservatively track them.
+  // R[k + offset] = furthest i on diagonal k = i - j with d differences.
+  const std::size_t d_max = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, xdrop2 / std::max<std::int64_t>(1, diff_cost2) +
+                                    4));
+  const std::size_t width = 2 * d_max + 3;
+  const std::size_t offset = d_max + 1;
+  std::vector<std::int64_t> r_prev(width, kUnreached);
+  std::vector<std::int64_t> r_cur(width, kUnreached);
+
+  // d = 0: slide from the origin.
+  {
+    const std::size_t i0 = slide(0, 0);
+    r_prev[offset] = static_cast<std::int64_t>(i0);
+    const std::int64_t s2v = r * static_cast<std::int64_t>(2 * i0);
+    if (s2v > best.score2) {
+      best.score2 = s2v;
+      best.len1 = i0;
+      best.len2 = i0;
+      best.differences = 0;
+    }
+  }
+
+  for (std::size_t d = 1; d <= d_max; ++d) {
+    std::fill(r_cur.begin(), r_cur.end(), kUnreached);
+    bool any_alive = false;
+    const auto dk = static_cast<std::int64_t>(d);
+    for (std::int64_t k = -dk; k <= dk; ++k) {
+      const std::size_t idx = static_cast<std::size_t>(k + static_cast<std::int64_t>(offset));
+      // A consumed character may never be a sentinel (bank boundary).
+      const auto a_ok = [&](std::int64_t pos) {
+        return pos >= 0 && pos < static_cast<std::int64_t>(n1) &&
+               a(static_cast<std::size_t>(pos)) != kSentinel;
+      };
+      const auto b_ok = [&](std::int64_t pos) {
+        return pos >= 0 && pos < static_cast<std::int64_t>(n2) &&
+               b(static_cast<std::size_t>(pos)) != kSentinel;
+      };
+      // Reach (i, j) with one more difference from d-1 states:
+      //   mismatch: same diagonal, consumes a(prev) and b(prev - k)
+      //   gap in b: diagonal k-1, consumes a(prev) only
+      //   gap in a: diagonal k+1, consumes b(prev - k - 1) only
+      std::int64_t i = kUnreached;
+      if (const std::int64_t prev = r_prev[idx];
+          prev != kUnreached && a_ok(prev) && b_ok(prev - k)) {
+        i = std::max(i, prev + 1);
+      }
+      if (idx >= 1) {
+        if (const std::int64_t prev = r_prev[idx - 1];
+            prev != kUnreached && a_ok(prev)) {
+          i = std::max(i, prev + 1);
+        }
+      }
+      if (idx + 1 < width) {
+        if (const std::int64_t prev = r_prev[idx + 1];
+            prev != kUnreached && b_ok(prev - k - 1)) {
+          i = std::max(i, prev);
+        }
+      }
+      if (i == kUnreached) continue;
+      // Clamp into the valid rectangle.
+      std::int64_t j = i - k;
+      if (i > static_cast<std::int64_t>(n1)) continue;
+      if (j < 0 || j > static_cast<std::int64_t>(n2)) continue;
+
+      const std::size_t slid =
+          slide(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+      i = static_cast<std::int64_t>(slid);
+      j = i - k;
+
+      const std::int64_t s2v =
+          r * (i + j) - static_cast<std::int64_t>(d) * diff_cost2;
+      // X-drop: abandon diagonals too far below the best.
+      if (best.score2 - s2v > xdrop2) continue;
+      r_cur[idx] = i;
+      any_alive = true;
+      if (s2v > best.score2) {
+        best.score2 = s2v;
+        best.len1 = static_cast<std::size_t>(i);
+        best.len2 = static_cast<std::size_t>(j);
+        best.differences = static_cast<std::uint32_t>(d);
+      }
+    }
+    if (!any_alive) break;
+    r_prev.swap(r_cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+GreedyExtent greedy_extend(std::span<const Code> seq1,
+                           std::span<const Code> seq2, Pos mid1, Pos mid2,
+                           const ScoringParams& params,
+                           std::size_t max_extent) {
+  const OneDirGreedy right =
+      greedy_one_direction(seq1, mid1, seq2, mid2, +1, max_extent, params);
+  const OneDirGreedy left =
+      greedy_one_direction(seq1, mid1, seq2, mid2, -1, max_extent, params);
+
+  GreedyExtent out;
+  out.s1 = mid1 - static_cast<Pos>(left.len1);
+  out.s2 = mid2 - static_cast<Pos>(left.len2);
+  out.e1 = mid1 + static_cast<Pos>(right.len1);
+  out.e2 = mid2 + static_cast<Pos>(right.len2);
+  out.score = static_cast<std::int32_t>((left.score2 + right.score2) / 2);
+  out.differences = left.differences + right.differences;
+  return out;
+}
+
+}  // namespace scoris::align

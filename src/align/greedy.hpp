@@ -1,0 +1,48 @@
+// Greedy gapped extension (Zhang, Schwartz, Wagner & Miller 2000) — the
+// megablast-family alternative to the x-drop dynamic program.
+//
+// Instead of filling a band of DP cells, the greedy algorithm tracks, for
+// each difference count d, the furthest point reachable on every diagonal
+// with exactly d differences (mismatch or single-base gap), sliding along
+// exact matches for free.  Cost is O(differences x diagonals) — far below
+// the DP on high-identity sequences, degrading as divergence grows.
+//
+// The score model is megablast's: with reward r (match) and penalty p
+// (mismatch), every difference — substitution or gap column — costs the
+// same (p plus the forgone reward), i.e. gap costs are tied to p rather
+// than independently affine.  Scores are therefore comparable to, but not
+// identical with, ScoringParams' affine model; on gap-free alignments they
+// coincide.  The paper's section-4 "new generations of processors /
+// programs" perspective motivates having this engine alongside the DP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/records.hpp"
+#include "align/scoring.hpp"
+
+namespace scoris::align {
+
+/// Result of a two-sided greedy extension from an anchor point.
+struct GreedyExtent {
+  seqio::Pos s1 = 0;
+  seqio::Pos e1 = 0;
+  seqio::Pos s2 = 0;
+  seqio::Pos e2 = 0;
+  std::int32_t score = 0;       ///< megablast-model score
+  std::uint32_t differences = 0;  ///< substitutions + gap columns used
+};
+
+/// Extend greedily from the anchor pair (mid1, mid2) in both directions.
+/// Uses params.match / params.mismatch as (r, p) and stops a direction
+/// when its running score drops more than params.xdrop_gapped below the
+/// best.  Never crosses a kSentinel; each direction explores at most
+/// `max_extent` characters.
+[[nodiscard]] GreedyExtent greedy_extend(std::span<const seqio::Code> seq1,
+                                         std::span<const seqio::Code> seq2,
+                                         seqio::Pos mid1, seqio::Pos mid2,
+                                         const ScoringParams& params,
+                                         std::size_t max_extent = 1u << 20);
+
+}  // namespace scoris::align

@@ -1,0 +1,65 @@
+// Alignment result records flowing between pipeline stages.
+#pragma once
+
+#include <cstdint>
+
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::align {
+
+/// Diagonal number of a hit: global position difference.  HSPs and gapped
+/// alignments are sorted by this value (paper sections 2.2 / 2.3).
+using Diagonal = std::int64_t;
+
+[[nodiscard]] constexpr Diagonal diagonal_of(seqio::Pos p1, seqio::Pos p2) {
+  return static_cast<Diagonal>(p1) - static_cast<Diagonal>(p2);
+}
+
+/// Ungapped high-scoring pair over global bank positions; [s,e) half-open.
+struct Hsp {
+  seqio::Pos s1 = 0;
+  seqio::Pos e1 = 0;
+  seqio::Pos s2 = 0;
+  seqio::Pos e2 = 0;
+  std::int32_t score = 0;
+
+  [[nodiscard]] Diagonal diagonal() const { return diagonal_of(s1, s2); }
+  [[nodiscard]] std::uint32_t length() const { return e1 - s1; }
+
+  friend bool operator==(const Hsp&, const Hsp&) = default;
+};
+
+/// Column statistics of a gapped alignment (for m8 output).
+struct AlignmentStats {
+  std::uint32_t length = 0;      ///< total alignment columns
+  std::uint32_t matches = 0;     ///< identical columns
+  std::uint32_t mismatches = 0;  ///< substituted columns
+  std::uint32_t gap_opens = 0;   ///< number of gap runs
+  std::uint32_t gap_columns = 0; ///< total gap columns
+
+  [[nodiscard]] double percent_identity() const {
+    return length == 0 ? 0.0 : 100.0 * matches / static_cast<double>(length);
+  }
+};
+
+/// Final gapped alignment over global bank positions; [s,e) half-open.
+/// When `minus` is set, s2/e2 are positions in the reverse complement of
+/// bank2 (m8 output maps them back; see compare::to_m8).
+struct GappedAlignment {
+  seqio::Pos s1 = 0;
+  seqio::Pos e1 = 0;
+  seqio::Pos s2 = 0;
+  seqio::Pos e2 = 0;
+  std::int32_t score = 0;
+  AlignmentStats stats;
+  double evalue = 0.0;
+  double bitscore = 0.0;
+  std::uint32_t seq1 = 0;  ///< sequence id in bank1
+  std::uint32_t seq2 = 0;  ///< sequence id in bank2
+  bool minus = false;      ///< subject matched on the minus strand
+
+  [[nodiscard]] Diagonal start_diagonal() const { return diagonal_of(s1, s2); }
+  [[nodiscard]] Diagonal end_diagonal() const { return diagonal_of(e1, e2); }
+};
+
+}  // namespace scoris::align

@@ -1,0 +1,31 @@
+// Scoring system shared by SCORIS-N and the BLASTN baseline.
+//
+// Nucleotide comparison uses a match reward and mismatch penalty (the
+// paper's MATCH / MISMATCH constants); gaps are affine (Gotoh): a run of g
+// gap columns costs gap_open + g * gap_extend.  Defaults follow NCBI
+// BLASTN 2.2.x: +1/-3, open 5, extend 2.
+#pragma once
+
+#include "seqio/nucleotide.hpp"
+
+namespace scoris::align {
+
+struct ScoringParams {
+  int match = 1;         ///< reward for an identical A/C/G/T pair
+  int mismatch = 3;      ///< penalty magnitude for a non-identical pair
+  int gap_open = 5;      ///< affine gap opening cost (charged once per run)
+  int gap_extend = 2;    ///< affine per-column gap cost
+  int xdrop_ungapped = 16;  ///< raw-score drop-off ending ungapped extension
+  int xdrop_gapped = 20;    ///< raw-score drop-off ending gapped extension
+
+  /// Pair score. Ambiguous bases never match; sentinels are handled by the
+  /// extension routines (hard boundary), not here.
+  [[nodiscard]] int score(seqio::Code a, seqio::Code b) const {
+    return (seqio::is_base(a) && a == b) ? match : -mismatch;
+  }
+
+  /// Cost of opening-and-extending the first column of a gap run.
+  [[nodiscard]] int gap_first() const { return gap_open + gap_extend; }
+};
+
+}  // namespace scoris::align

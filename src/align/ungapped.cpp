@@ -1,0 +1,82 @@
+#include "align/ungapped.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scoris::align {
+
+using seqio::Code;
+using seqio::is_base;
+using seqio::kSentinel;
+using seqio::Pos;
+
+SideExtension extend_left_plain(std::span<const Code> seq1,
+                                std::span<const Code> seq2, Pos p1, Pos p2,
+                                const ScoringParams& params) {
+  SideExtension best;
+  int score = 0;
+  int maxi = 0;
+  std::int64_t i = static_cast<std::int64_t>(p1) - 1;
+  std::int64_t j = static_cast<std::int64_t>(p2) - 1;
+  Pos steps = 0;
+  while (i >= 0 && j >= 0 && maxi - score < params.xdrop_ungapped) {
+    const Code a = seq1[static_cast<std::size_t>(i)];
+    const Code b = seq2[static_cast<std::size_t>(j)];
+    if (a == kSentinel || b == kSentinel) break;
+    score += params.score(a, b);
+    ++steps;
+    if (score > maxi) {
+      maxi = score;
+      best.score_gain = score;
+      best.span = steps;
+    }
+    --i;
+    --j;
+  }
+  return best;
+}
+
+SideExtension extend_right_plain(std::span<const Code> seq1,
+                                 std::span<const Code> seq2, Pos p1, Pos p2,
+                                 const ScoringParams& params) {
+  SideExtension best;
+  int score = 0;
+  int maxi = 0;
+  std::size_t i = p1;
+  std::size_t j = p2;
+  Pos steps = 0;
+  while (i < seq1.size() && j < seq2.size() &&
+         maxi - score < params.xdrop_ungapped) {
+    const Code a = seq1[i];
+    const Code b = seq2[j];
+    if (a == kSentinel || b == kSentinel) break;
+    score += params.score(a, b);
+    ++steps;
+    if (score > maxi) {
+      maxi = score;
+      best.score_gain = score;
+      best.span = steps;
+    }
+    ++i;
+    ++j;
+  }
+  return best;
+}
+
+Hsp extend_ungapped(std::span<const Code> seq1, std::span<const Code> seq2,
+                    Pos p1, Pos p2, int w, const ScoringParams& params) {
+  assert(w > 0);
+  const SideExtension left = extend_left_plain(seq1, seq2, p1, p2, params);
+  const SideExtension right =
+      extend_right_plain(seq1, seq2, p1 + static_cast<Pos>(w),
+                         p2 + static_cast<Pos>(w), params);
+  Hsp hsp;
+  hsp.s1 = p1 - left.span;
+  hsp.s2 = p2 - left.span;
+  hsp.e1 = p1 + static_cast<Pos>(w) + right.span;
+  hsp.e2 = p2 + static_cast<Pos>(w) + right.span;
+  hsp.score = w * params.match + left.score_gain + right.score_gain;
+  return hsp;
+}
+
+}  // namespace scoris::align

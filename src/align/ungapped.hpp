@@ -1,0 +1,44 @@
+// Ungapped (HSP) x-drop extension.
+//
+// This is the plain two-sided extension used by the BLASTN baseline and as
+// the substrate for the ORIS ordered extension (which adds the seed-code
+// abort, see core/ordered_extend.hpp).  Extension starts from a W-character
+// exact seed match and grows left then right, remembering the best score; it
+// stops when the running score falls `xdrop_ungapped` below the best, or at
+// a sequence boundary (kSentinel).
+#pragma once
+
+#include <span>
+
+#include "align/records.hpp"
+#include "align/scoring.hpp"
+#include "seqio/nucleotide.hpp"
+
+namespace scoris::align {
+
+/// Extend the exact seed match seq1[p1, p1+w) == seq2[p2, p2+w) in both
+/// directions without gaps.  Returns the maximal-scoring HSP containing the
+/// seed.  The caller guarantees the seed characters match and are concrete
+/// bases; positions are global bank positions.
+[[nodiscard]] Hsp extend_ungapped(std::span<const seqio::Code> seq1,
+                                  std::span<const seqio::Code> seq2,
+                                  seqio::Pos p1, seqio::Pos p2, int w,
+                                  const ScoringParams& params);
+
+/// One-sided left extension: returns (score_gain, new_start_offset) where
+/// score_gain >= 0 is the best additional score found left of p1/p2 and
+/// new_start_offset is how many characters the HSP start moves left.
+struct SideExtension {
+  int score_gain = 0;
+  seqio::Pos span = 0;  ///< characters added on this side
+};
+
+[[nodiscard]] SideExtension extend_left_plain(
+    std::span<const seqio::Code> seq1, std::span<const seqio::Code> seq2,
+    seqio::Pos p1, seqio::Pos p2, const ScoringParams& params);
+
+[[nodiscard]] SideExtension extend_right_plain(
+    std::span<const seqio::Code> seq1, std::span<const seqio::Code> seq2,
+    seqio::Pos p1, seqio::Pos p2, const ScoringParams& params);
+
+}  // namespace scoris::align

@@ -1,0 +1,112 @@
+#include "compare/m8.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace scoris::compare {
+
+M8Record to_m8(const align::GappedAlignment& a,
+               const seqio::SequenceBank& bank1,
+               const seqio::SequenceBank& bank2) {
+  M8Record r;
+  r.qseqid = bank1.seq_name(a.seq1);
+  r.sseqid = bank2.seq_name(a.seq2);
+  r.pident = a.stats.percent_identity();
+  r.length = a.stats.length;
+  r.mismatch = a.stats.mismatches;
+  r.gapopen = a.stats.gap_opens;
+  const auto qoff = bank1.offset(a.seq1);
+  const auto soff = bank2.offset(a.seq2);
+  r.qstart = a.s1 - qoff + 1;
+  r.qend = a.e1 - qoff;  // half-open -> 1-based inclusive
+  if (a.minus) {
+    // s2/e2 live in the reverse complement; map back to original subject
+    // coordinates.  m8 marks minus-strand alignments with sstart > send.
+    const std::uint64_t len = bank2.length(a.seq2);
+    const std::uint64_t ls = a.s2 - soff;
+    const std::uint64_t le = a.e2 - soff;
+    r.sstart = len - ls;
+    r.send = len - le + 1;
+  } else {
+    r.sstart = a.s2 - soff + 1;
+    r.send = a.e2 - soff;
+  }
+  r.evalue = a.evalue;
+  r.bitscore = a.bitscore;
+  return r;
+}
+
+std::string format_m8(const M8Record& rec) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s\t%s\t%.2f\t%u\t%u\t%u\t%llu\t%llu\t%llu\t%llu\t%.2e\t%.1f",
+                rec.qseqid.c_str(), rec.sseqid.c_str(), rec.pident, rec.length,
+                rec.mismatch, rec.gapopen,
+                static_cast<unsigned long long>(rec.qstart),
+                static_cast<unsigned long long>(rec.qend),
+                static_cast<unsigned long long>(rec.sstart),
+                static_cast<unsigned long long>(rec.send), rec.evalue,
+                rec.bitscore);
+  return buf;
+}
+
+M8Record parse_m8_line(std::string_view line) {
+  const auto fields = util::split(line, '\t');
+  if (fields.size() < 12) {
+    throw std::runtime_error("m8: expected 12 tab-separated fields, got " +
+                             std::to_string(fields.size()));
+  }
+  M8Record r;
+  r.qseqid = fields[0];
+  r.sseqid = fields[1];
+  const auto to_d = [](const std::string& s) -> double {
+    return std::strtod(s.c_str(), nullptr);
+  };
+  const auto to_u = [](const std::string& s) -> std::uint64_t {
+    return std::strtoull(s.c_str(), nullptr, 10);
+  };
+  r.pident = to_d(fields[2]);
+  r.length = static_cast<std::uint32_t>(to_u(fields[3]));
+  r.mismatch = static_cast<std::uint32_t>(to_u(fields[4]));
+  r.gapopen = static_cast<std::uint32_t>(to_u(fields[5]));
+  r.qstart = to_u(fields[6]);
+  r.qend = to_u(fields[7]);
+  r.sstart = to_u(fields[8]);
+  r.send = to_u(fields[9]);
+  r.evalue = to_d(fields[10]);
+  r.bitscore = to_d(fields[11]);
+  return r;
+}
+
+std::vector<M8Record> parse_m8(std::string_view text) {
+  std::vector<M8Record> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, nl == std::string_view::npos ? std::string_view::npos
+                                                        : nl - start);
+    start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    out.push_back(parse_m8_line(trimmed));
+  }
+  return out;
+}
+
+void write_m8(std::ostream& os, std::span<const M8Record> records) {
+  for (const auto& r : records) os << format_m8(r) << '\n';
+}
+
+void write_m8(std::ostream& os,
+              std::span<const align::GappedAlignment> alignments,
+              const seqio::SequenceBank& bank1,
+              const seqio::SequenceBank& bank2) {
+  for (const auto& a : alignments) os << format_m8(to_m8(a, bank1, bank2)) << '\n';
+}
+
+}  // namespace scoris::compare

@@ -1,0 +1,62 @@
+// BLAST tabular (-m 8) records.
+//
+// Both programs emit this format (paper section 3.1: "It only displays the
+// alignment features as it is done in the -m 8 option of BLASTN"), and the
+// sensitivity analysis (section 3.4) works purely on these lines.  Fields:
+//   qseqid sseqid pident length mismatch gapopen qstart qend sstart send
+//   evalue bitscore
+// Coordinates are 1-based inclusive within their sequence.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/records.hpp"
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::compare {
+
+struct M8Record {
+  std::string qseqid;
+  std::string sseqid;
+  double pident = 0.0;
+  std::uint32_t length = 0;
+  std::uint32_t mismatch = 0;
+  std::uint32_t gapopen = 0;
+  std::uint64_t qstart = 0;  // 1-based inclusive
+  std::uint64_t qend = 0;
+  std::uint64_t sstart = 0;
+  std::uint64_t send = 0;
+  double evalue = 0.0;
+  double bitscore = 0.0;
+};
+
+/// Convert a pipeline alignment (global coordinates) to an m8 record.
+/// bank1 provides the query side, bank2 the subject side.
+[[nodiscard]] M8Record to_m8(const align::GappedAlignment& a,
+                             const seqio::SequenceBank& bank1,
+                             const seqio::SequenceBank& bank2);
+
+/// One tab-separated m8 line (no newline).
+[[nodiscard]] std::string format_m8(const M8Record& rec);
+
+/// Parse one m8 line; throws std::runtime_error on malformed input.
+[[nodiscard]] M8Record parse_m8_line(std::string_view line);
+
+/// Parse a whole m8 document (blank lines and '#' comments skipped).
+[[nodiscard]] std::vector<M8Record> parse_m8(std::string_view text);
+
+/// Write records as m8 lines.
+void write_m8(std::ostream& os, std::span<const M8Record> records);
+
+/// Convert + write a batch of alignments.
+void write_m8(std::ostream& os,
+              std::span<const align::GappedAlignment> alignments,
+              const seqio::SequenceBank& bank1,
+              const seqio::SequenceBank& bank2);
+
+}  // namespace scoris::compare

@@ -1,0 +1,83 @@
+#include "compare/sensitivity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace scoris::compare {
+namespace {
+
+/// Group records by (qseqid, sseqid) for O(pair-bucket) matching.
+using PairKey = std::pair<std::string, std::string>;
+
+std::map<PairKey, std::vector<const M8Record*>> bucketize(
+    const std::vector<M8Record>& recs) {
+  std::map<PairKey, std::vector<const M8Record*>> out;
+  for (const auto& r : recs) {
+    out[{r.qseqid, r.sseqid}].push_back(&r);
+  }
+  return out;
+}
+
+/// Count records of `from` with no equivalent record in `in`.
+std::size_t count_misses(
+    const std::vector<M8Record>& from,
+    const std::map<PairKey, std::vector<const M8Record*>>& in,
+    const SensitivityParams& params) {
+  std::size_t miss = 0;
+  for (const auto& r : from) {
+    const auto it = in.find({r.qseqid, r.sseqid});
+    bool found = false;
+    if (it != in.end()) {
+      for (const M8Record* cand : it->second) {
+        if (equivalent(r, *cand, params)) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) ++miss;
+  }
+  return miss;
+}
+
+}  // namespace
+
+double interval_overlap(std::uint64_t a1, std::uint64_t a2, std::uint64_t b1,
+                        std::uint64_t b2) {
+  if (a1 > a2) std::swap(a1, a2);
+  if (b1 > b2) std::swap(b1, b2);
+  const std::uint64_t lo = std::max(a1, b1);
+  const std::uint64_t hi = std::min(a2, b2);
+  if (lo > hi) return 0.0;
+  const auto inter = static_cast<double>(hi - lo + 1);
+  const auto len_a = static_cast<double>(a2 - a1 + 1);
+  const auto len_b = static_cast<double>(b2 - b1 + 1);
+  return inter / std::max(len_a, len_b);
+}
+
+bool equivalent(const M8Record& x, const M8Record& y,
+                const SensitivityParams& params) {
+  if (x.qseqid != y.qseqid || x.sseqid != y.sseqid) return false;
+  // Strand must agree (m8 convention: sstart > send marks minus strand).
+  if ((x.sstart > x.send) != (y.sstart > y.send)) return false;
+  const double ov_q = interval_overlap(x.qstart, x.qend, y.qstart, y.qend);
+  const double ov_s = interval_overlap(x.sstart, x.send, y.sstart, y.send);
+  return std::min(ov_q, ov_s) > params.min_overlap;
+}
+
+SensitivityResult compare_results(const std::vector<M8Record>& a,
+                                  const std::vector<M8Record>& b,
+                                  const SensitivityParams& params) {
+  SensitivityResult r;
+  r.a_total = a.size();
+  r.b_total = b.size();
+  const auto a_buckets = bucketize(a);
+  const auto b_buckets = bucketize(b);
+  r.a_miss = count_misses(b, a_buckets, params);  // B records missing from A
+  r.b_miss = count_misses(a, b_buckets, params);  // A records missing from B
+  return r;
+}
+
+}  // namespace scoris::compare

@@ -1,0 +1,55 @@
+// Sensitivity comparison of two alignment result sets (paper section 3.4).
+//
+// Two alignments are *equivalent* when they pair the same query and subject
+// sequences and their intervals overlap by more than 80 % on both axes.
+// Given result sets A and B the paper defines
+//     Amiss      = alignments of B with no equivalent in A
+//     A_miss_pct = Amiss / Btotal * 100
+// (and symmetrically for B) — e.g. SCORISmiss = SCmiss / BLtotal * 100.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "compare/m8.hpp"
+
+namespace scoris::compare {
+
+struct SensitivityParams {
+  double min_overlap = 0.8;  ///< required fractional overlap on each axis
+};
+
+/// Pairwise comparison result between result set A and result set B.
+struct SensitivityResult {
+  std::size_t a_total = 0;   ///< |A|
+  std::size_t b_total = 0;   ///< |B|
+  std::size_t a_miss = 0;    ///< alignments of B without an equivalent in A
+  std::size_t b_miss = 0;    ///< alignments of A without an equivalent in B
+
+  /// Percentage of B's alignments that A misses (paper's "Amiss" column).
+  [[nodiscard]] double a_miss_pct() const {
+    return b_total == 0 ? 0.0 : 100.0 * static_cast<double>(a_miss) /
+                                    static_cast<double>(b_total);
+  }
+  /// Percentage of A's alignments that B misses.
+  [[nodiscard]] double b_miss_pct() const {
+    return a_total == 0 ? 0.0 : 100.0 * static_cast<double>(b_miss) /
+                                    static_cast<double>(a_total);
+  }
+};
+
+/// Fractional overlap of [a1, a2] and [b1, b2] (1-based inclusive), using
+/// intersection / max(len_a, len_b); 0 when disjoint.
+[[nodiscard]] double interval_overlap(std::uint64_t a1, std::uint64_t a2,
+                                      std::uint64_t b1, std::uint64_t b2);
+
+/// True when the two records are equivalent under the paper's criterion.
+[[nodiscard]] bool equivalent(const M8Record& x, const M8Record& y,
+                              const SensitivityParams& params = {});
+
+/// Full two-sided comparison of result sets A and B.
+[[nodiscard]] SensitivityResult compare_results(
+    const std::vector<M8Record>& a, const std::vector<M8Record>& b,
+    const SensitivityParams& params = {});
+
+}  // namespace scoris::compare

@@ -1,0 +1,49 @@
+// Memory-bounded bank comparison.
+//
+// The paper bounds bank size by available memory (section 3.1: the index
+// costs ~5 N bytes per bank, so "comparing two chromosomes of 40 MBytes
+// will require, at least, a free memory space of 400 MBytes").  When the
+// banks do not fit the budget, this driver slices bank2 into sequence
+// ranges, runs the ordinary pipeline per slice, and remaps results back to
+// the original bank's coordinates.  Because ORIS statistics use
+// |bank1| x |subject sequence| as the search space and sequences are never
+// split, the merged result is bit-identical to an unchunked run.
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace scoris::core {
+
+struct ChunkedOptions {
+  Options pipeline;
+  /// Approximate budget for the two in-memory indexes (bytes).  The
+  /// driver slices bank2 so that index1 + slice-index fit; bank1 must fit
+  /// on its own.  Default 256 MB.
+  std::size_t memory_budget_bytes = 256u << 20;
+  /// Lower bound on slices (testing hook; 0 = derive from the budget).
+  std::size_t min_chunks = 0;
+};
+
+struct ChunkedResult {
+  std::vector<align::GappedAlignment> alignments;  ///< original coordinates
+  PipelineStats stats;       ///< accumulated over slices
+  std::size_t chunks = 0;    ///< number of bank2 slices processed
+};
+
+/// Estimated index bytes for a bank at word length w (the paper's ~5N plus
+/// the 4^W dictionary).
+[[nodiscard]] std::size_t estimated_index_bytes(
+    const seqio::SequenceBank& bank, int w);
+
+/// Copy a contiguous sequence range [from, to) of a bank into a new bank.
+[[nodiscard]] seqio::SequenceBank slice_bank(const seqio::SequenceBank& bank,
+                                             std::size_t from, std::size_t to);
+
+/// Run bank1 x bank2 within the memory budget.  Results are sorted with
+/// the usual step-4 ordering and carry bank2's original sequence ids and
+/// global positions.
+[[nodiscard]] ChunkedResult run_chunked(const seqio::SequenceBank& bank1,
+                                        const seqio::SequenceBank& bank2,
+                                        const ChunkedOptions& options = {});
+
+}  // namespace scoris::core

@@ -1,0 +1,140 @@
+#include "core/ordered_extend.hpp"
+
+#include <cassert>
+#include <cstdint>
+
+namespace scoris::core {
+
+using seqio::Code;
+using seqio::is_base;
+using seqio::kSentinel;
+using seqio::Pos;
+
+OrderedExtendOutcome extend_ordered(const index::BankIndex& idx1,
+                                    const index::BankIndex& idx2, Pos p1,
+                                    Pos p2, index::SeedCode anchor,
+                                    const align::ScoringParams& params) {
+  // Bank data always starts and ends with kSentinel, so the walks below
+  // terminate on a sentinel before they can run off either span — no
+  // per-character bounds checks are needed.
+  const Code* seq1 = idx1.bank().data().data();
+  const Code* seq2 = idx2.bank().data().data();
+  const index::SeedCoder& coder = idx1.coder();
+  const int w = coder.w();
+  assert(idx2.w() == w);
+  assert(seq1[0] == kSentinel && seq2[0] == kSentinel);
+
+  OrderedExtendOutcome out;
+  int left_gain = 0;
+  Pos left_span = 0;
+  int right_gain = 0;
+  Pos right_span = 0;
+
+  // ---- left extension -------------------------------------------------
+  {
+    int score = 0;
+    int maxi = 0;
+    int run = w;  // consecutive matching characters ending at the window
+    index::SeedCode window = anchor;
+    std::int64_t i = static_cast<std::int64_t>(p1) - 1;
+    std::int64_t j = static_cast<std::int64_t>(p2) - 1;
+    Pos steps = 0;
+    while (maxi - score < params.xdrop_ungapped) {
+      const Code a = seq1[i];
+      const Code b = seq2[j];
+      if (a == kSentinel || b == kSentinel) break;
+      // Slide the window left regardless of match so it is valid again
+      // after W pushes (only the low 2 bits of the character enter).
+      window = coder.roll_left(window, static_cast<Code>(a & 3));
+      if (is_base(a) && a == b) {
+        score += params.match;
+        ++run;
+        if (run >= w && window <= anchor) {
+          // A W-match window starts at (i, j): it is an enumerable seed
+          // when both indexes contain it. Lower-or-equal code => this HSP
+          // is generated from that seed instead.
+          if (idx1.is_indexed(static_cast<Pos>(i)) &&
+              idx2.is_indexed(static_cast<Pos>(j))) {
+            out.aborted_left = true;
+            return out;
+          }
+        }
+        ++steps;
+        if (score > maxi) {
+          maxi = score;
+          left_gain = score;
+          left_span = steps;
+        }
+      } else {
+        score -= params.mismatch;
+        run = 0;
+        ++steps;
+      }
+      --i;
+      --j;
+    }
+  }
+
+  // ---- right extension -------------------------------------------------
+  {
+    int score = 0;
+    int maxi = 0;
+    int run = w;
+    index::SeedCode window = anchor;
+    std::size_t i = p1 + static_cast<Pos>(w);
+    std::size_t j = p2 + static_cast<Pos>(w);
+    Pos steps = 0;
+    while (maxi - score < params.xdrop_ungapped) {
+      const Code a = seq1[i];
+      const Code b = seq2[j];
+      if (a == kSentinel || b == kSentinel) break;
+      window = coder.roll_right(window, static_cast<Code>(a & 3));
+      if (is_base(a) && a == b) {
+        score += params.match;
+        ++run;
+        if (run >= w && window < anchor) {
+          const Pos q1 = static_cast<Pos>(i) - static_cast<Pos>(w) + 1;
+          const Pos q2 = static_cast<Pos>(j) - static_cast<Pos>(w) + 1;
+          // Strictly lower code to the right aborts; equal codes do not
+          // (the leftmost occurrence — us — is the canonical generator).
+          if (idx1.is_indexed(q1) && idx2.is_indexed(q2)) {
+            out.aborted_right = true;
+            return out;
+          }
+        }
+        ++steps;
+        if (score > maxi) {
+          maxi = score;
+          right_gain = score;
+          right_span = steps;
+        }
+      } else {
+        score -= params.mismatch;
+        run = 0;
+        ++steps;
+      }
+      ++i;
+      ++j;
+    }
+  }
+
+  align::Hsp hsp;
+  hsp.s1 = p1 - left_span;
+  hsp.s2 = p2 - left_span;
+  hsp.e1 = p1 + static_cast<Pos>(w) + right_span;
+  hsp.e2 = p2 + static_cast<Pos>(w) + right_span;
+  hsp.score = w * params.match + left_gain + right_gain;
+  out.hsp = hsp;
+  return out;
+}
+
+OrderedExtendOutcome extend_ordered(const index::BankIndex& idx1,
+                                    const index::BankIndex& idx2, Pos p1,
+                                    Pos p2,
+                                    const align::ScoringParams& params) {
+  const index::SeedCode anchor =
+      idx1.coder().code_unchecked(idx1.bank().data(), p1);
+  return extend_ordered(idx1, idx2, p1, p2, anchor, params);
+}
+
+}  // namespace scoris::core

@@ -1,0 +1,56 @@
+// The ORIS ordered ungapped extension — the paper's key contribution
+// (section 2.2 and its extend_left listing).
+//
+// Extension of the seed hit (p1, p2) proceeds exactly like the plain
+// x-drop extension, but additionally recomputes the seed code of every
+// window of W consecutive *matching* characters it walks over:
+//
+//  * left extension aborts when it meets an enumerable seed whose code is
+//    lower than OR EQUAL to the anchor's — the HSP is (or will be)
+//    generated from that occurrence instead (the <= makes the leftmost
+//    occurrence of equal-code seeds the canonical generator);
+//  * right extension aborts only on a STRICTLY lower code — an equal code
+//    to the right loses against us by the left rule.
+//
+// Together the two rules guarantee each HSP is generated exactly once
+// across the whole 4^W enumeration, with no de-duplication structure.
+//
+// One refinement over the paper's listing: a candidate seed only causes an
+// abort when it is actually enumerable as a hit, i.e. present in *both*
+// bank indexes (BankIndex::is_indexed).  With full indexing this is always
+// true for a W-match window; with DUST masking or stride-2 asymmetric
+// indexing an excluded word must not abort (it will never anchor an
+// extension, so aborting would lose the HSP entirely).
+#pragma once
+
+#include <optional>
+
+#include "align/records.hpp"
+#include "align/scoring.hpp"
+#include "index/bank_index.hpp"
+
+namespace scoris::core {
+
+/// Statistics of one ordered extension (for the pipeline's counters).
+struct OrderedExtendOutcome {
+  std::optional<align::Hsp> hsp;  ///< nullopt when the order rule aborted
+  bool aborted_left = false;
+  bool aborted_right = false;
+};
+
+/// Ordered two-sided ungapped extension of the exact seed match
+/// idx1.bank()[p1, p1+W) == idx2.bank()[p2, p2+W).
+/// `anchor` must be the seed code at p1/p2 (the enumeration loop already
+/// has it, so it is passed instead of recomputed).
+[[nodiscard]] OrderedExtendOutcome extend_ordered(
+    const index::BankIndex& idx1, const index::BankIndex& idx2,
+    seqio::Pos p1, seqio::Pos p2, index::SeedCode anchor,
+    const align::ScoringParams& params);
+
+/// Convenience overload that derives the anchor code from the sequence
+/// (tests and one-off callers).
+[[nodiscard]] OrderedExtendOutcome extend_ordered(
+    const index::BankIndex& idx1, const index::BankIndex& idx2,
+    seqio::Pos p1, seqio::Pos p2, const align::ScoringParams& params);
+
+}  // namespace scoris::core

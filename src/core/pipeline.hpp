@@ -1,0 +1,106 @@
+// SCORIS-N: the four-step ORIS pipeline (paper figure 1).
+//
+//   step 1  index both banks (dictionary + chain, optional DUST mask,
+//           optional stride-2 asymmetric indexing of bank2)
+//   step 2  enumerate all 4^W seed codes in increasing order; for every
+//           occurrence pair run the ordered ungapped extension; keep HSPs
+//           scoring >= S1 — uniqueness comes from the order rule alone
+//   step 3  gapped extension with diagonal-sorted containment dedup
+//   step 4  e-value sort, m8 output
+//
+// Steps 2 and 3 parallelise exactly as the paper's section 4 sketches:
+// the outer seed loop partitions by seed-code range (workers can never
+// produce the same HSP thanks to the order rule), and step 3 partitions by
+// subject sequence.  Results are deterministic and thread-count-invariant.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "align/records.hpp"
+#include "align/scoring.hpp"
+#include "core/gapped_stage.hpp"
+#include "filter/dust.hpp"
+#include "seqio/sequence_bank.hpp"
+#include "seqio/strand.hpp"
+#include "stats/karlin.hpp"
+
+namespace scoris::core {
+
+struct Options {
+  int w = 11;                ///< seed length (paper default: 11-nt)
+  bool asymmetric = false;   ///< 10-nt words, bank2 indexed with stride 2
+  align::ScoringParams scoring;
+  int min_hsp_score = 25;    ///< S1: raw-score threshold for keeping HSPs
+  double max_evalue = 1e-3;  ///< S2 expressed as an e-value cutoff
+  bool dust = true;          ///< low-complexity filter before indexing
+  filter::DustParams dust_params;
+  /// Which strands of bank2 to search.  The paper's prototype is
+  /// plus-only (-S 1, section 3.3) and names minus-strand search as the
+  /// next release's feature; kBoth reruns steps 1-3 on the reverse
+  /// complement and merges.
+  seqio::Strand strand = seqio::Strand::kPlus;
+  int threads = 1;
+  std::size_t max_gap_extent = 1u << 20;
+  /// Ablation switch (bench A1): when false, step 2 uses the plain
+  /// unordered extension and duplicates are removed by sort+unique, the
+  /// way a naive implementation would.
+  bool enforce_order = true;
+  /// Solve Karlin-Altschul parameters from the banks' actual base
+  /// composition instead of uniform 0.25 (affects e-values on GC-skewed
+  /// data; off by default to match the paper's prototype).
+  bool composition_stats = false;
+
+  /// Effective word length (asymmetric mode drops to 10-nt).
+  [[nodiscard]] int effective_w() const { return asymmetric ? 10 : w; }
+};
+
+struct PipelineStats {
+  double index_seconds = 0.0;
+  double hsp_seconds = 0.0;     ///< step 2
+  double gapped_seconds = 0.0;  ///< step 3
+  double total_seconds = 0.0;
+
+  std::size_t hit_pairs = 0;        ///< occurrence pairs examined
+  std::size_t order_aborts = 0;     ///< extensions cut by the order rule
+  std::size_t hsps = 0;             ///< HSPs above S1 (after dedup if any)
+  std::size_t duplicate_hsps = 0;   ///< removed duplicates (order off only)
+  std::size_t index_bytes = 0;      ///< both indexes
+  std::size_t masked_bases = 0;     ///< DUST-masked positions, both banks
+  GappedStageStats gapped;
+  std::size_t alignments = 0;
+};
+
+struct Result {
+  std::vector<align::GappedAlignment> alignments;
+  PipelineStats stats;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(Options options = {});
+
+  /// Run bank1 x bank2. bank1 is the "query" side of the m8 output; the
+  /// e-value search space is |bank1| x |subject sequence| as in the paper.
+  [[nodiscard]] Result run(const seqio::SequenceBank& bank1,
+                           const seqio::SequenceBank& bank2) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] const stats::KarlinParams& karlin() const { return karlin_; }
+
+ private:
+  [[nodiscard]] Result run_single(const seqio::SequenceBank& bank1,
+                                  const seqio::SequenceBank& bank2,
+                                  bool minus) const;
+
+  Options options_;
+  stats::KarlinParams karlin_;
+};
+
+/// Write a result in m8 format (step 4 display).
+void write_result_m8(std::ostream& os, const Result& result,
+                     const seqio::SequenceBank& bank1,
+                     const seqio::SequenceBank& bank2);
+
+}  // namespace scoris::core

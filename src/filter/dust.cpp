@@ -1,0 +1,107 @@
+#include "filter/dust.hpp"
+
+#include <algorithm>
+
+namespace scoris::filter {
+namespace {
+
+using seqio::Code;
+
+constexpr int kInvalidTriplet = -1;
+
+/// Triplet code (0..63) at each position, or kInvalidTriplet where any of
+/// the three bases is not concrete.
+std::vector<int> triplet_codes(std::span<const Code> codes) {
+  std::vector<int> t;
+  if (codes.size() < 3) return t;
+  t.resize(codes.size() - 2);
+  for (std::size_t i = 0; i + 2 < codes.size(); ++i) {
+    if (seqio::is_base(codes[i]) && seqio::is_base(codes[i + 1]) &&
+        seqio::is_base(codes[i + 2])) {
+      t[i] = (codes[i] << 4) | (codes[i + 1] << 2) | codes[i + 2];
+    } else {
+      t[i] = kInvalidTriplet;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<Interval> dust_intervals(std::span<const Code> codes,
+                                     const DustParams& params) {
+  std::vector<Interval> out;
+  const int w = std::max(8, params.window);
+  const auto trip = triplet_codes(codes);
+  if (trip.empty()) return out;
+
+  const std::size_t wt = static_cast<std::size_t>(w - 2);  // triplets/window
+  const std::size_t nt = trip.size();
+
+  // Sliding counts over triplet positions [lo, hi).
+  std::array<int, 64> counts{};
+  long long pair_sum = 0;  // sum c_t (c_t - 1) / 2, updated incrementally
+
+  const auto add = [&](int tc) {
+    if (tc == kInvalidTriplet) return;
+    pair_sum += counts[static_cast<std::size_t>(tc)];
+    ++counts[static_cast<std::size_t>(tc)];
+  };
+  const auto remove = [&](int tc) {
+    if (tc == kInvalidTriplet) return;
+    --counts[static_cast<std::size_t>(tc)];
+    pair_sum -= counts[static_cast<std::size_t>(tc)];
+  };
+
+  std::size_t hi = std::min(wt, nt);
+  for (std::size_t i = 0; i < hi; ++i) add(trip[i]);
+
+  std::size_t lo = 0;
+  // Evaluate each window [lo, lo+wt); mask windows above the level.
+  for (;;) {
+    const std::size_t span = hi - lo;
+    if (span >= 4) {  // need at least a few triplets for a meaningful score
+      // 10 * pair_sum / (span - 1) > level  <=>  10*pair_sum > level*(span-1)
+      if (10 * pair_sum > static_cast<long long>(params.level) *
+                              static_cast<long long>(span - 1)) {
+        const std::uint32_t begin = static_cast<std::uint32_t>(lo);
+        const std::uint32_t end = static_cast<std::uint32_t>(hi + 2);
+        if (!out.empty() && out.back().end >= begin) {
+          out.back().end = std::max(out.back().end, end);
+        } else {
+          out.push_back({begin, end});
+        }
+      }
+    }
+    if (hi >= nt) break;
+    add(trip[hi]);
+    ++hi;
+    if (hi - lo > wt) {
+      remove(trip[lo]);
+      ++lo;
+    }
+  }
+  return out;
+}
+
+MaskBitmap dust_mask(const seqio::SequenceBank& bank,
+                     const DustParams& params) {
+  MaskBitmap mask(bank.data_size());
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const auto intervals = dust_intervals(bank.codes(i), params);
+    const std::size_t off = bank.offset(i);
+    for (const auto& iv : intervals) {
+      mask.set_range(off + iv.begin, off + iv.end);
+    }
+  }
+  return mask;
+}
+
+double masked_fraction(const seqio::SequenceBank& bank,
+                       const MaskBitmap& mask) {
+  if (bank.total_bases() == 0) return 0.0;
+  return static_cast<double>(mask.count()) /
+         static_cast<double>(bank.total_bases());
+}
+
+}  // namespace scoris::filter

@@ -1,0 +1,39 @@
+// DUST-style low-complexity filter.
+//
+// The paper (2.1) discards W-words in low-complexity regions from the index
+// and notes (3.4) that its filter differs from NCBI's DUST [Morgulis 2006];
+// we implement the classic windowed-triplet DUST score: for a window of
+// w nucleotides containing k = w-2 triplets with per-type counts c_t,
+//     score = 10 * sum_t c_t (c_t - 1) / 2  /  (k - 1)
+// and a window is low-complexity when score > level (default 20, the
+// standard DUST level).  Masked windows are merged into intervals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "filter/mask.hpp"
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::filter {
+
+struct DustParams {
+  int window = 64;  ///< nucleotides per scoring window
+  int level = 20;   ///< threshold on the 10x-scaled score
+};
+
+/// Mask low-complexity intervals of one sequence (coordinates local to the
+/// span). Ambiguous bases invalidate the triplets containing them.
+[[nodiscard]] std::vector<Interval> dust_intervals(
+    std::span<const seqio::Code> codes, const DustParams& params = {});
+
+/// Run DUST over every sequence of a bank and return a global-position
+/// bitmap sized to the bank's code array.
+[[nodiscard]] MaskBitmap dust_mask(const seqio::SequenceBank& bank,
+                                   const DustParams& params = {});
+
+/// Fraction of a bank's bases that the filter masks (for reporting).
+[[nodiscard]] double masked_fraction(const seqio::SequenceBank& bank,
+                                     const MaskBitmap& mask);
+
+}  // namespace scoris::filter

@@ -1,0 +1,77 @@
+// Bitmap of masked global positions.
+//
+// The paper activates a low-complexity filter *before indexing*: W-words in
+// masked regions are excluded from the seed dictionary, but the sequence
+// data itself is untouched so extensions may still run through masked
+// regions (soft masking, as in BLAST).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scoris::filter {
+
+/// Half-open interval of global bank positions.
+struct Interval {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// One bit per global bank position.
+class MaskBitmap {
+ public:
+  MaskBitmap() = default;
+  explicit MaskBitmap(std::size_t positions)
+      : bits_((positions + 63) / 64, 0), size_(positions) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void set(std::size_t pos) { bits_[pos >> 6] |= (1ull << (pos & 63)); }
+
+  void set_range(std::size_t begin, std::size_t end) {
+    for (std::size_t p = begin; p < end && p < size_; ++p) set(p);
+  }
+
+  [[nodiscard]] bool test(std::size_t pos) const {
+    return (bits_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  /// True when any position of [begin, begin+len) is masked.
+  [[nodiscard]] bool any_in(std::size_t begin, std::size_t len) const {
+    const std::size_t end = std::min(begin + len, size_);
+    for (std::size_t p = begin; p < end; ++p) {
+      if (test(p)) return true;
+    }
+    return false;
+  }
+
+  /// Number of masked positions.
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto w : bits_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Raw word access (serialization).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return bits_;
+  }
+
+  /// Rebuild from raw words (serialization). Word count must match size.
+  static MaskBitmap from_words(std::vector<std::uint64_t> words,
+                               std::size_t positions) {
+    MaskBitmap m;
+    m.bits_ = std::move(words);
+    m.size_ = positions;
+    return m;
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace scoris::filter

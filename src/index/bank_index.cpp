@@ -1,0 +1,173 @@
+#include "index/bank_index.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace scoris::index {
+
+using seqio::Code;
+
+BankIndex::BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
+                     const IndexOptions& options)
+    : bank_(&bank), coder_(coder) {
+  if (coder.w() > 13) {
+    throw std::invalid_argument("BankIndex: W > 13 dictionary too large");
+  }
+  if (options.stride < 1) {
+    throw std::invalid_argument("BankIndex: stride must be >= 1");
+  }
+  if (options.mask != nullptr && options.mask->size() != bank.data_size()) {
+    throw std::invalid_argument("BankIndex: mask size mismatch");
+  }
+
+  const auto codes = bank.data();
+  const std::size_t n = codes.size();
+  const int w = coder.w();
+
+  first_.assign(coder.num_seeds(), -1);
+  next_.assign(n, -1);
+  indexed_ = filter::MaskBitmap(n);
+  if (n < static_cast<std::size_t>(w)) return;
+
+  // Walk sequences (and positions within them) from last to first so the
+  // chains come out in ascending position order.  `run` counts consecutive
+  // concrete bases starting at the current position; a position is a word
+  // start when run >= W.  The seed code is maintained by rolling left.
+  //
+  // The stride for asymmetric indexing applies to *sequence-local*
+  // offsets, so an indexed word set never depends on what precedes the
+  // sequence in the bank (this keeps sliced/chunked runs bit-identical,
+  // see core/chunked.hpp).
+  for (std::size_t s = bank.size(); s-- > 0;) {
+    const std::size_t off = bank.offset(s);
+    const std::size_t len = bank.length(s);
+    std::size_t run = 0;
+    SeedCode code = 0;
+    for (std::size_t local = len; local-- > 0;) {
+      const std::size_t p = off + local;
+      const Code c = codes[p];
+      if (!seqio::is_base(c)) {
+        run = 0;
+        continue;
+      }
+      ++run;
+      code = coder_.roll_left(code, c);
+      if (run < static_cast<std::size_t>(w)) continue;
+      if (options.stride > 1 &&
+          (local % static_cast<std::size_t>(options.stride)) != 0) {
+        continue;
+      }
+      if (options.mask != nullptr &&
+          options.mask->any_in(p, static_cast<std::size_t>(w))) {
+        continue;
+      }
+      if (first_[code] < 0) ++distinct_seeds_;
+      next_[p] = first_[code];
+      first_[code] = static_cast<std::int32_t>(p);
+      indexed_.set(p);
+      ++total_indexed_;
+    }
+  }
+}
+
+std::size_t BankIndex::occurrence_count(SeedCode code) const {
+  std::size_t n = 0;
+  for (std::int32_t p = first_[code]; p >= 0;
+       p = next_[static_cast<std::size_t>(p)]) {
+    ++n;
+  }
+  return n;
+}
+
+namespace {
+
+constexpr char kIndexMagic[4] = {'S', 'C', 'O', 'I'};
+constexpr std::uint32_t kIndexVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("index load: truncated input");
+  return v;
+}
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("index load: truncated input");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!is) throw std::runtime_error("index load: truncated input");
+  return v;
+}
+
+}  // namespace
+
+void BankIndex::save(std::ostream& os) const {
+  os.write(kIndexMagic, sizeof(kIndexMagic));
+  write_u32(os, kIndexVersion);
+  write_u32(os, static_cast<std::uint32_t>(coder_.w()));
+  write_u64(os, bank_->data_size());
+  write_vec(os, first_);
+  write_vec(os, next_);
+  write_vec(os, indexed_.words());
+  write_u64(os, indexed_.size());
+  write_u64(os, total_indexed_);
+  write_u64(os, distinct_seeds_);
+  if (!os) throw std::runtime_error("index save: write failed");
+}
+
+BankIndex BankIndex::load(std::istream& is, const seqio::SequenceBank& bank) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || magic[0] != 'S' || magic[1] != 'C' || magic[2] != 'O' ||
+      magic[3] != 'I') {
+    throw std::runtime_error("index load: bad magic");
+  }
+  const std::uint32_t version = read_u32(is);
+  if (version != kIndexVersion) {
+    throw std::runtime_error("index load: unsupported version");
+  }
+  const auto w = static_cast<int>(read_u32(is));
+  const std::uint64_t data_size = read_u64(is);
+  if (data_size != bank.data_size()) {
+    throw std::runtime_error(
+        "index load: bank size mismatch (index built for another bank?)");
+  }
+  BankIndex idx(bank, SeedCoder(w), /*load_tag=*/0);
+  idx.first_ = read_vec<std::int32_t>(is);
+  idx.next_ = read_vec<std::int32_t>(is);
+  auto words = read_vec<std::uint64_t>(is);
+  const std::uint64_t bit_size = read_u64(is);
+  idx.indexed_ = filter::MaskBitmap::from_words(std::move(words),
+                                                static_cast<std::size_t>(bit_size));
+  idx.total_indexed_ = read_u64(is);
+  idx.distinct_seeds_ = read_u64(is);
+  if (idx.first_.size() != idx.coder_.num_seeds() ||
+      idx.next_.size() != bank.data_size()) {
+    throw std::runtime_error("index load: inconsistent array sizes");
+  }
+  return idx;
+}
+
+}  // namespace scoris::index

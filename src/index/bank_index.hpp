@@ -1,0 +1,111 @@
+// BankIndex — the paper's figure-2 structure.
+//
+// A dictionary of 4^W int32 entries (first occurrence of each seed, -1 when
+// absent) plus an INDEX array parallel to the bank's SEQ array chaining the
+// positions of identical seeds in ascending position order.  Memory is
+// therefore ~ 4 bytes per position (INDEX) + 1 byte per position (SEQ,
+// owned by the bank) + 4*4^W dictionary bytes — the paper's "approximately
+// 5 N bytes" (section 3.1), which bench_a4_index_cost verifies.
+//
+// Options cover the paper's two indexing variants:
+//  * a low-complexity mask: masked words are not chained (section 2.1);
+//  * stride-2 subsampling ("asymmetric indexing" of 10-nt words, section
+//    3.4): only every other word of the bank is indexed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "filter/mask.hpp"
+#include "index/seed_coder.hpp"
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::index {
+
+struct IndexOptions {
+  /// Index word starts whose *sequence-local* offset is a multiple of
+  /// stride (1 = every position; 2 = the paper's asymmetric half-words;
+  /// W = BLAT-style non-overlapping tiles).
+  int stride = 1;
+  const filter::MaskBitmap* mask = nullptr;  ///< optional soft mask
+};
+
+class BankIndex {
+ public:
+  /// Build the index for `bank` with word length `coder.w()`.
+  /// The bank must outlive the index. Throws std::invalid_argument for
+  /// W > 13 (dictionary would exceed 1 GiB).
+  BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
+            const IndexOptions& options = {});
+
+  [[nodiscard]] const seqio::SequenceBank& bank() const { return *bank_; }
+  [[nodiscard]] const SeedCoder& coder() const { return coder_; }
+  [[nodiscard]] int w() const { return coder_.w(); }
+
+  /// First occurrence (lowest global position) of `code`, or -1.
+  [[nodiscard]] std::int32_t first(SeedCode code) const {
+    return first_[code];
+  }
+
+  /// Next occurrence of the same seed after global position `pos`, or -1.
+  [[nodiscard]] std::int32_t next(std::int32_t pos) const {
+    return next_[static_cast<std::size_t>(pos)];
+  }
+
+  /// True when global position `pos` is a word start present in the index
+  /// (i.e. all-ACGT, not masked, stride-selected).  The ORIS seed-order
+  /// abort must only trigger on seeds that are actually enumerable, which
+  /// is exactly this predicate.
+  [[nodiscard]] bool is_indexed(seqio::Pos pos) const {
+    return indexed_.test(pos);
+  }
+
+  /// Visit every occurrence of `code` in ascending position order.
+  template <typename Fn>
+  void for_each(SeedCode code, Fn&& fn) const {
+    for (std::int32_t p = first_[code]; p >= 0;
+         p = next_[static_cast<std::size_t>(p)]) {
+      fn(static_cast<seqio::Pos>(p));
+    }
+  }
+
+  /// Number of occurrences of `code` (walks the chain).
+  [[nodiscard]] std::size_t occurrence_count(SeedCode code) const;
+
+  /// Total indexed word positions over all seeds.
+  [[nodiscard]] std::size_t total_indexed() const { return total_indexed_; }
+
+  /// Number of distinct seeds present in the bank.
+  [[nodiscard]] std::size_t distinct_seeds() const { return distinct_seeds_; }
+
+  /// Bytes held by the index structures (dictionary + chain).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return first_.capacity() * sizeof(std::int32_t) +
+           next_.capacity() * sizeof(std::int32_t);
+  }
+
+  /// Serialize the index (magic "SCOI"). The bank itself is not stored;
+  /// pair with seqio::save_bank. Throws std::runtime_error on failure.
+  void save(std::ostream& os) const;
+
+  /// Deserialize an index previously saved for `bank` (the bank's data
+  /// size is validated). Throws std::runtime_error on mismatch.
+  [[nodiscard]] static BankIndex load(std::istream& is,
+                                      const seqio::SequenceBank& bank);
+
+ private:
+  BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
+            int /*load_tag*/)
+      : bank_(&bank), coder_(coder) {}
+
+  const seqio::SequenceBank* bank_;
+  SeedCoder coder_;
+  std::vector<std::int32_t> first_;  // 4^W entries, -1 = absent
+  std::vector<std::int32_t> next_;   // one per bank data position, -1 = end
+  filter::MaskBitmap indexed_;       // word-start membership bitmap
+  std::size_t total_indexed_ = 0;
+  std::size_t distinct_seeds_ = 0;
+};
+
+}  // namespace scoris::index

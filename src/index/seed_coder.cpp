@@ -1,0 +1,68 @@
+#include "index/seed_coder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace scoris::index {
+
+SeedCoder::SeedCoder(int w) : w_(w) {
+  if (w < 1 || w > 15) {
+    throw std::invalid_argument("SeedCoder: W must be in [1, 15]");
+  }
+  mask_ = static_cast<SeedCode>((std::uint64_t{1} << (2 * w)) - 1);
+}
+
+SeedCode SeedCoder::code_unchecked(std::span<const seqio::Code> codes,
+                                   std::size_t pos) const {
+  SeedCode c = 0;
+  for (int i = 0; i < w_; ++i) {
+    const seqio::Code nt = codes[pos + static_cast<std::size_t>(i)];
+    assert(seqio::is_base(nt));
+    c |= static_cast<SeedCode>(nt) << (2 * i);
+  }
+  return c;
+}
+
+std::optional<SeedCode> SeedCoder::code_at(std::span<const seqio::Code> codes,
+                                           std::size_t pos) const {
+  if (!is_word(codes, pos)) return std::nullopt;
+  return code_unchecked(codes, pos);
+}
+
+bool SeedCoder::is_word(std::span<const seqio::Code> codes,
+                        std::size_t pos) const {
+  if (pos + static_cast<std::size_t>(w_) > codes.size()) return false;
+  for (int i = 0; i < w_; ++i) {
+    if (!seqio::is_base(codes[pos + static_cast<std::size_t>(i)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SeedCoder::decode(SeedCode code) const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(w_));
+  for (int i = 0; i < w_; ++i) {
+    out.push_back(seqio::decode_base(static_cast<seqio::Code>(code & 3)));
+    code >>= 2;
+  }
+  return out;
+}
+
+SeedCode SeedCoder::encode(std::string_view word) const {
+  if (word.size() != static_cast<std::size_t>(w_)) {
+    throw std::invalid_argument("SeedCoder::encode: wrong word length");
+  }
+  SeedCode c = 0;
+  for (int i = 0; i < w_; ++i) {
+    const seqio::Code nt = seqio::encode_base(word[static_cast<std::size_t>(i)]);
+    if (!seqio::is_base(nt)) {
+      throw std::invalid_argument("SeedCoder::encode: non-ACGT character");
+    }
+    c |= static_cast<SeedCode>(nt) << (2 * i);
+  }
+  return c;
+}
+
+}  // namespace scoris::index

@@ -1,0 +1,100 @@
+#include "seqio/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace scoris::seqio {
+namespace {
+
+/// Flush one accumulated record into the bank.
+void flush(SequenceBank& bank, std::string& name, std::string& bases) {
+  if (name.empty() && bases.empty()) return;
+  if (name.empty()) {
+    throw std::runtime_error("FASTA: sequence data before any '>' header");
+  }
+  bank.add(name, bases);
+  name.clear();
+  bases.clear();
+}
+
+}  // namespace
+
+SequenceBank read_fasta_string(std::string_view text, std::string bank_name) {
+  SequenceBank bank(std::move(bank_name));
+  std::string name;
+  std::string bases;
+
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    const auto nl = text.find('\n', line_start);
+    const std::string_view line =
+        text.substr(line_start, nl == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : nl - line_start);
+    line_start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    if (trimmed.front() == '>') {
+      flush(bank, name, bases);
+      const auto fields = util::split_ws(trimmed.substr(1));
+      name = fields.empty() ? "unnamed" : fields.front();
+      // An empty record (header followed by nothing) is still a sequence.
+      if (name.empty()) name = "unnamed";
+      continue;
+    }
+    for (const char c : trimmed) {
+      if (!std::isspace(static_cast<unsigned char>(c))) bases.push_back(c);
+    }
+    if (name.empty()) {
+      throw std::runtime_error("FASTA: sequence data before any '>' header");
+    }
+  }
+  flush(bank, name, bases);
+  return bank;
+}
+
+SequenceBank read_fasta_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("FASTA: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  // Use the basename (without extension) as the bank name.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name.erase(0, slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name.erase(dot);
+  }
+  return read_fasta_string(ss.str(), std::move(name));
+}
+
+void write_fasta(std::ostream& os, const SequenceBank& bank, int width) {
+  if (width <= 0) width = 70;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    os << '>' << bank.seq_name(i) << '\n';
+    const std::string bases = bank.bases(i);
+    for (std::size_t p = 0; p < bases.size();
+         p += static_cast<std::size_t>(width)) {
+      os << std::string_view(bases).substr(p, static_cast<std::size_t>(width))
+         << '\n';
+    }
+    if (bases.empty()) os << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path, const SequenceBank& bank,
+                      int width) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("FASTA: cannot create " + path);
+  write_fasta(out, bank, width);
+  if (!out) throw std::runtime_error("FASTA: write failed for " + path);
+}
+
+}  // namespace scoris::seqio

@@ -1,0 +1,33 @@
+// FASTA reading and writing.
+//
+// SCORIS-N takes its banks as FASTA files (paper section 3.1); the bench
+// harnesses mostly build banks in memory, but the examples demonstrate the
+// file path end to end.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::seqio {
+
+/// Parse FASTA text into a bank. Header lines start with '>'; the first
+/// whitespace-delimited token becomes the sequence name. Blank lines and
+/// ';' comment lines are ignored. Throws std::runtime_error on malformed
+/// input (sequence data before any header).
+[[nodiscard]] SequenceBank read_fasta_string(std::string_view text,
+                                             std::string bank_name = "");
+
+/// Read a FASTA file from disk. Throws std::runtime_error if unreadable.
+[[nodiscard]] SequenceBank read_fasta_file(const std::string& path);
+
+/// Serialize a bank to FASTA with `width`-column wrapped sequence lines.
+void write_fasta(std::ostream& os, const SequenceBank& bank, int width = 70);
+
+/// Write a bank to a FASTA file on disk. Throws on I/O failure.
+void write_fasta_file(const std::string& path, const SequenceBank& bank,
+                      int width = 70);
+
+}  // namespace scoris::seqio

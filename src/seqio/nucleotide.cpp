@@ -1,0 +1,61 @@
+#include "seqio/nucleotide.hpp"
+
+#include <array>
+
+namespace scoris::seqio {
+namespace {
+
+constexpr std::array<Code, 256> make_encode_table() {
+  std::array<Code, 256> t{};
+  for (auto& v : t) v = kAmbiguous;
+  t['A'] = t['a'] = kA;
+  t['C'] = t['c'] = kC;
+  t['G'] = t['g'] = kG;
+  t['T'] = t['t'] = kT;
+  return t;
+}
+
+constexpr std::array<Code, 256> kEncodeTable = make_encode_table();
+
+}  // namespace
+
+Code encode_base(char base) {
+  return kEncodeTable[static_cast<unsigned char>(base)];
+}
+
+char decode_base(Code code) {
+  switch (code) {
+    case kA: return 'A';
+    case kC: return 'C';
+    case kT: return 'T';
+    case kG: return 'G';
+    case kSentinel: return '#';
+    default: return 'N';
+  }
+}
+
+Code complement(Code code) {
+  switch (code) {
+    case kA: return kT;
+    case kT: return kA;
+    case kC: return kG;
+    case kG: return kC;
+    default: return code;
+  }
+}
+
+std::basic_string<Code> encode(std::string_view bases) {
+  std::basic_string<Code> out;
+  out.reserve(bases.size());
+  for (const char b : bases) out.push_back(encode_base(b));
+  return out;
+}
+
+std::string decode(std::span<const Code> codes) {
+  std::string out;
+  out.reserve(codes.size());
+  for (const Code c : codes) out.push_back(decode_base(c));
+  return out;
+}
+
+}  // namespace scoris::seqio

@@ -1,0 +1,51 @@
+// Nucleotide alphabet and the paper's 2-bit code.
+//
+// The ORIS paper (section 2.1) encodes nucleotides as
+//     A -> 00, C -> 01, G -> 11, T -> 10
+// i.e. the induced *numeric* order of bases is A < C < T < G.  Every seed is
+// the little-endian base-4 number of its characters (first character has
+// weight 4^0), and the whole algorithm's correctness rests on this being a
+// total order over seeds, so we reproduce the exact code table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace scoris::seqio {
+
+/// One nucleotide as stored in a bank: 0..3 for A/C/T/G, or a marker.
+using Code = std::uint8_t;
+
+inline constexpr Code kA = 0;  // 00
+inline constexpr Code kC = 1;  // 01
+inline constexpr Code kT = 2;  // 10
+inline constexpr Code kG = 3;  // 11
+
+/// Any IUPAC ambiguity character (N, R, Y, ...). Never matches anything,
+/// never participates in a seed, but extension may step over it (mismatch).
+inline constexpr Code kAmbiguous = 0xFE;
+
+/// Inter-sequence / bank-boundary sentinel. Extension hard-stops here.
+inline constexpr Code kSentinel = 0xFF;
+
+/// True for a concrete A/C/G/T code.
+[[nodiscard]] constexpr bool is_base(Code c) { return c < 4; }
+
+/// Encode an ASCII base (case-insensitive). Non-ACGT -> kAmbiguous.
+[[nodiscard]] Code encode_base(char base);
+
+/// Decode a 2-bit code back to upper-case ASCII. Markers -> 'N' / '#'.
+[[nodiscard]] char decode_base(Code code);
+
+/// Complement of a base code (A<->T, C<->G); markers map to themselves.
+[[nodiscard]] Code complement(Code code);
+
+/// Encode a whole ASCII string into codes.
+[[nodiscard]] std::basic_string<Code> encode(std::string_view bases);
+
+/// Decode a span of codes into an ASCII string.
+[[nodiscard]] std::string decode(std::span<const Code> codes);
+
+}  // namespace scoris::seqio

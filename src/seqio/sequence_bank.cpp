@@ -1,0 +1,87 @@
+#include "seqio/sequence_bank.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace scoris::seqio {
+
+std::size_t SequenceBank::add(std::string_view seq_name,
+                              std::string_view bases) {
+  const auto codes = encode(bases);
+  return add_codes(seq_name, codes);
+}
+
+std::size_t SequenceBank::add_codes(std::string_view seq_name,
+                                    std::span<const Code> codes) {
+  for (const Code c : codes) {
+    if (!is_base(c) && c != kAmbiguous) {
+      throw std::invalid_argument("SequenceBank::add_codes: invalid code");
+    }
+  }
+  if (seq_.empty()) seq_.push_back(kSentinel);  // leading boundary
+  const auto id = names_.size();
+  names_.emplace_back(seq_name);
+  offsets_.push_back(static_cast<Pos>(seq_.size()));
+  lengths_.push_back(static_cast<std::uint32_t>(codes.size()));
+  seq_.insert(seq_.end(), codes.begin(), codes.end());
+  seq_.push_back(kSentinel);  // trailing boundary doubles as next separator
+  total_bases_ += codes.size();
+  return id;
+}
+
+std::size_t SequenceBank::seq_of_pos(Pos pos) const {
+  assert(!offsets_.empty());
+  // First sequence whose offset is > pos, minus one.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), pos);
+  assert(it != offsets_.begin());
+  return static_cast<std::size_t>(std::distance(offsets_.begin(), it)) - 1;
+}
+
+BankStats SequenceBank::stats() const {
+  BankStats s;
+  s.num_sequences = size();
+  s.total_bases = total_bases_;
+  if (!lengths_.empty()) {
+    s.min_length = *std::min_element(lengths_.begin(), lengths_.end());
+    s.max_length = *std::max_element(lengths_.begin(), lengths_.end());
+    s.mean_length =
+        static_cast<double>(total_bases_) / static_cast<double>(size());
+  }
+  std::size_t gc = 0;
+  std::size_t concrete = 0;
+  for (const Code c : seq_) {
+    if (c == kC || c == kG) ++gc;
+    if (is_base(c)) ++concrete;
+    if (c == kAmbiguous) ++s.ambiguous_bases;
+  }
+  s.gc_fraction = concrete == 0
+                      ? 0.0
+                      : static_cast<double>(gc) / static_cast<double>(concrete);
+  return s;
+}
+
+std::array<double, 4> SequenceBank::base_frequencies() const {
+  std::array<std::size_t, 4> counts{};
+  for (const Code c : seq_) {
+    if (is_base(c)) ++counts[c];
+  }
+  const std::size_t total = counts[0] + counts[1] + counts[2] + counts[3];
+  std::array<double, 4> freqs{0.25, 0.25, 0.25, 0.25};
+  if (total > 0) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      freqs[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+    }
+  }
+  return freqs;
+}
+
+std::size_t SequenceBank::memory_bytes() const {
+  std::size_t bytes = seq_.capacity() * sizeof(Code);
+  bytes += offsets_.capacity() * sizeof(Pos);
+  bytes += lengths_.capacity() * sizeof(std::uint32_t);
+  for (const auto& n : names_) bytes += n.capacity() + sizeof(std::string);
+  return bytes;
+}
+
+}  // namespace scoris::seqio

@@ -1,0 +1,119 @@
+// SequenceBank — the in-memory bank representation shared by every stage.
+//
+// Mirrors the paper's `char *SEQ` array (figure 2): all sequences of a bank
+// are concatenated into one contiguous code array so that seed positions are
+// *global* bank positions and extension is pure pointer arithmetic.  A
+// kSentinel byte is placed before the first, between consecutive, and after
+// the last sequence so ungapped/gapped extension can never run across a
+// sequence boundary (the sentinel matches nothing, including itself).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seqio/nucleotide.hpp"
+
+namespace scoris::seqio {
+
+/// Global position inside a bank's concatenated code array.
+using Pos = std::uint32_t;
+
+/// Aggregate statistics of a bank (reported by bench_t1_datasets).
+struct BankStats {
+  std::size_t num_sequences = 0;
+  std::size_t total_bases = 0;      // nucleotides, excluding sentinels
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  double gc_fraction = 0.0;         // fraction of G/C among concrete bases
+  std::size_t ambiguous_bases = 0;  // non-ACGT input characters
+
+  [[nodiscard]] double mbp() const {
+    return static_cast<double>(total_bases) / 1e6;
+  }
+};
+
+/// A named bank of DNA sequences with contiguous 2-bit-code storage.
+class SequenceBank {
+ public:
+  SequenceBank() = default;
+  explicit SequenceBank(std::string bank_name) : name_(std::move(bank_name)) {}
+
+  /// Append one sequence given as ASCII bases. Returns its sequence id.
+  std::size_t add(std::string_view seq_name, std::string_view bases);
+
+  /// Append one sequence given as already-encoded codes (0..3 / kAmbiguous).
+  std::size_t add_codes(std::string_view seq_name, std::span<const Code> codes);
+
+  // --- bank-level accessors -------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Number of sequences.
+  [[nodiscard]] std::size_t size() const { return offsets_.size(); }
+  [[nodiscard]] bool empty() const { return offsets_.empty(); }
+
+  /// Total nucleotides over all sequences (no sentinels).
+  [[nodiscard]] std::size_t total_bases() const { return total_bases_; }
+
+  /// The concatenated code array *including* sentinels. Index with global
+  /// positions; data()[offset(i) - 1] is always a sentinel.
+  [[nodiscard]] std::span<const Code> data() const { return {seq_}; }
+
+  /// Size of the code array (bases + sentinels).
+  [[nodiscard]] std::size_t data_size() const { return seq_.size(); }
+
+  // --- per-sequence accessors -----------------------------------------------
+
+  [[nodiscard]] const std::string& seq_name(std::size_t i) const {
+    return names_[i];
+  }
+  /// Global position of the first base of sequence `i`.
+  [[nodiscard]] Pos offset(std::size_t i) const { return offsets_[i]; }
+  /// Length in bases of sequence `i`.
+  [[nodiscard]] std::size_t length(std::size_t i) const { return lengths_[i]; }
+  /// Codes of sequence `i` (no sentinels).
+  [[nodiscard]] std::span<const Code> codes(std::size_t i) const {
+    return std::span<const Code>(seq_).subspan(offsets_[i], lengths_[i]);
+  }
+  /// ASCII bases of sequence `i`.
+  [[nodiscard]] std::string bases(std::size_t i) const {
+    return decode(codes(i));
+  }
+
+  // --- position mapping -----------------------------------------------------
+
+  /// Sequence id owning global position `pos` (pos must be on a base).
+  [[nodiscard]] std::size_t seq_of_pos(Pos pos) const;
+
+  /// 0-based offset of `pos` within its sequence.
+  [[nodiscard]] std::size_t pos_in_seq(Pos pos) const {
+    return pos - offsets_[seq_of_pos(pos)];
+  }
+
+  // --- whole-bank operations ------------------------------------------------
+
+  [[nodiscard]] BankStats stats() const;
+
+  /// Base frequencies (A, C, T, G in code order) over concrete bases.
+  /// Returns uniform 0.25 for an empty bank.
+  [[nodiscard]] std::array<double, 4> base_frequencies() const;
+
+  /// Estimated resident bytes of the bank itself (codes + offsets + names).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> names_;
+  std::vector<Pos> offsets_;          // global pos of first base, ascending
+  std::vector<std::uint32_t> lengths_;
+  std::vector<Code> seq_;             // sentinel-delimited concatenation
+  std::size_t total_bases_ = 0;
+};
+
+}  // namespace scoris::seqio

@@ -1,0 +1,29 @@
+// Binary serialization of sequence banks.
+//
+// FASTA parsing and 2-bit encoding of a multi-Mbp bank is not free; a tool
+// that repeatedly compares against the same reference bank wants to parse
+// once and reload.  The format is a simple versioned little-endian layout
+// (magic "SCOB"), storing per-sequence names and code strings; sentinels
+// are rebuilt on load so the result is byte-identical to re-adding every
+// sequence.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::seqio {
+
+/// Serialize a bank. Throws std::runtime_error on stream failure.
+void save_bank(std::ostream& os, const SequenceBank& bank);
+
+/// Deserialize a bank. Throws std::runtime_error on bad magic/version or
+/// truncated input.
+[[nodiscard]] SequenceBank load_bank(std::istream& is);
+
+/// File convenience wrappers.
+void save_bank_file(const std::string& path, const SequenceBank& bank);
+[[nodiscard]] SequenceBank load_bank_file(const std::string& path);
+
+}  // namespace scoris::seqio

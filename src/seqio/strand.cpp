@@ -1,0 +1,19 @@
+#include "seqio/strand.hpp"
+
+#include <algorithm>
+
+namespace scoris::seqio {
+
+SequenceBank reverse_complement(const SequenceBank& bank) {
+  SequenceBank out(bank.name() + "_rc");
+  std::basic_string<Code> buf;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const auto codes = bank.codes(i);
+    buf.assign(codes.rbegin(), codes.rend());
+    for (auto& c : buf) c = complement(c);
+    out.add_codes(bank.seq_name(i), buf);
+  }
+  return out;
+}
+
+}  // namespace scoris::seqio

@@ -1,0 +1,25 @@
+// Strand handling.
+//
+// The paper's prototype searches a single strand only (`-S 1`, section
+// 3.3) and lists complementary-strand search as future work; this module
+// supplies it.  A minus-strand search runs the unchanged single-strand
+// machinery against the reverse complement of bank2 and maps subject
+// coordinates back (m8 convention: sstart > send marks a minus-strand
+// alignment).
+#pragma once
+
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::seqio {
+
+enum class Strand {
+  kPlus,   ///< bank2 as given (the paper's -S 1 behaviour)
+  kMinus,  ///< reverse complement of bank2 only
+  kBoth,   ///< both strands (BLASTN's default -S 3)
+};
+
+/// Reverse-complement every sequence of a bank (names preserved, order
+/// preserved, ambiguous bases stay ambiguous).
+[[nodiscard]] SequenceBank reverse_complement(const SequenceBank& bank);
+
+}  // namespace scoris::seqio

@@ -1,0 +1,339 @@
+#include "simulate/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace scoris::simulate {
+namespace {
+
+using seqio::Code;
+
+/// Clamped log-normal length draw.
+std::size_t draw_length(Rng& rng, double log_mean, double log_sigma,
+                        std::size_t lo, std::size_t hi) {
+  const double v = rng.next_lognormal(log_mean, log_sigma);
+  const auto len = static_cast<std::size_t>(std::max(1.0, v));
+  return std::clamp(len, lo, hi);
+}
+
+/// Append `insert` into `dst` (helper to keep construction readable).
+void append(CodeString& dst, const CodeString& insert) {
+  dst.append(insert.data(), insert.size());
+}
+
+}  // namespace
+
+CodeString random_codes(Rng& rng, std::size_t len) {
+  CodeString out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<Code>(rng.next_below(4)));
+  }
+  return out;
+}
+
+CodeString random_codes(Rng& rng, std::size_t len,
+                        const std::array<double, 4>& freqs) {
+  std::array<double, 4> cum{};
+  double total = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    total += freqs[i];
+    cum[i] = total;
+  }
+  CodeString out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double r = rng.next_double() * total;
+    Code c = 3;
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (r < cum[k]) {
+        c = static_cast<Code>(k);
+        break;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+CodeString random_fragment(Rng& rng, std::span<const Code> source,
+                           std::size_t len) {
+  if (source.empty()) return {};
+  len = std::min(len, source.size());
+  const std::size_t start = rng.next_below(source.size() - len + 1);
+  return CodeString(source.data() + start, len);
+}
+
+CodeString low_complexity_codes(Rng& rng, std::size_t len, int motif_len) {
+  const CodeString motif =
+      random_codes(rng, static_cast<std::size_t>(std::max(1, motif_len)));
+  CodeString out;
+  out.reserve(len);
+  while (out.size() < len) {
+    out.append(motif.data(), std::min(motif.size(), len - out.size()));
+  }
+  return out;
+}
+
+SharedPools::SharedPools(std::uint64_t seed, const PoolParams& params) {
+  Rng rng(seed);
+
+  Rng gene_rng = rng.fork(1);
+  genes_.reserve(params.gene_count);
+  for (std::size_t i = 0; i < params.gene_count; ++i) {
+    const std::size_t len = draw_length(
+        gene_rng, std::log(static_cast<double>(params.gene_len_mean)), 0.45,
+        300, 8000);
+    genes_.push_back(random_codes(gene_rng, len));
+  }
+
+  Rng viral_rng = rng.fork(2);
+  viral_.reserve(params.viral_ancestors);
+  for (std::size_t i = 0; i < params.viral_ancestors; ++i) {
+    const std::size_t len = draw_length(viral_rng, std::log(3000.0), 0.6,
+                                        800, 20000);
+    viral_.push_back(random_codes(viral_rng, len));
+  }
+  erv_count_ = static_cast<std::size_t>(
+      std::round(params.erv_ancestor_fraction *
+                 static_cast<double>(params.viral_ancestors)));
+  erv_count_ = std::min(erv_count_, viral_.size());
+
+  Rng island_rng = rng.fork(3);
+  islands_.reserve(params.bct_islands);
+  for (std::size_t i = 0; i < params.bct_islands; ++i) {
+    const std::size_t len = draw_length(
+        island_rng, std::log(static_cast<double>(params.island_len)), 0.4,
+        800, 12000);
+    islands_.push_back(random_codes(island_rng, len));
+  }
+
+  Rng universal_rng = rng.fork(4);
+  universal_.reserve(params.universal_elements);
+  for (std::size_t i = 0; i < params.universal_elements; ++i) {
+    universal_.push_back(random_codes(universal_rng, params.universal_len));
+  }
+
+  Rng repeat_rng = rng.fork(5);
+  // SINE-like short elements and LINE-like long ones.
+  for (int i = 0; i < 4; ++i) {
+    repeats_.push_back(
+        random_codes(repeat_rng, 250 + 50 * static_cast<std::size_t>(i)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    repeats_.push_back(
+        random_codes(repeat_rng, 2500 + 1500 * static_cast<std::size_t>(i)));
+  }
+}
+
+seqio::SequenceBank est_bank(Rng& rng, const SharedPools& pools,
+                             const std::string& name,
+                             const EstBankParams& params) {
+  seqio::SequenceBank bank(name);
+  const MutationModel error{params.sequencing_error,
+                            params.sequencing_error * 0.1,
+                            params.sequencing_error * 0.1, 0.2};
+  std::size_t total = 0;
+  std::size_t idx = 0;
+  while (total < params.target_bases) {
+    const std::size_t frag_len =
+        draw_length(rng, params.frag_log_mean, params.frag_log_sigma, 80, 1500);
+    CodeString est;
+    if (rng.next_bool(params.universal_rate) && !pools.universal().empty()) {
+      const auto& elem =
+          pools.universal()[rng.next_below(pools.universal().size())];
+      est = random_fragment(rng, elem, frag_len);
+    } else if (rng.next_bool(params.paralog_rate) && !pools.genes().empty()) {
+      // A diverged paralog copy: heavy substitutions plus indels, giving
+      // marginal-score alignments against the other bank's cognate ESTs.
+      const auto& gene = pools.genes()[rng.next_below(pools.genes().size())];
+      const double div = params.paralog_divergence_min +
+                         (params.paralog_divergence_max -
+                          params.paralog_divergence_min) *
+                             rng.next_double();
+      const CodeString frag = random_fragment(rng, gene, frag_len);
+      est = mutate(rng, frag, MutationModel::with_divergence(div));
+    } else if (rng.next_bool(params.orphan_rate) || pools.genes().empty()) {
+      est = random_codes(rng, frag_len);
+    } else {
+      const auto& gene = pools.genes()[rng.next_below(pools.genes().size())];
+      est = random_fragment(rng, gene, frag_len);
+    }
+    est = mutate(rng, est, error);
+    if (est.empty()) continue;
+    bank.add_codes(name + "_" + std::to_string(idx++), est);
+    total += est.size();
+  }
+  return bank;
+}
+
+seqio::SequenceBank viral_bank(Rng& rng, const SharedPools& pools,
+                               const std::string& name,
+                               const ViralBankParams& params) {
+  seqio::SequenceBank bank(name);
+  std::size_t total = 0;
+  std::size_t idx = 0;
+  while (total < params.target_bases && !pools.viral().empty()) {
+    CodeString seq;
+    if (rng.next_bool(params.universal_rate) && !pools.universal().empty()) {
+      const auto& elem =
+          pools.universal()[rng.next_below(pools.universal().size())];
+      seq = random_fragment(rng, elem, elem.size());
+    } else {
+      const auto& anc = pools.viral()[rng.next_below(pools.viral().size())];
+      // A record is a (usually partial) diverged copy of its ancestor;
+      // the fraction is tuned so mean record length ~0.9 kb matches the
+      // paper's gbvrl1 statistics (65.84 Mbp / 72113 records).
+      const double frac = 0.10 + 0.45 * rng.next_double();
+      CodeString frag = random_fragment(
+          rng, anc,
+          static_cast<std::size_t>(frac * static_cast<double>(anc.size())));
+      const double div = params.divergence_min +
+                         (params.divergence_max - params.divergence_min) *
+                             rng.next_double();
+      seq = mutate(rng, frag, MutationModel::with_divergence(div));
+    }
+    if (seq.empty()) continue;
+    bank.add_codes(name + "_" + std::to_string(idx++), seq);
+    total += seq.size();
+  }
+  return bank;
+}
+
+seqio::SequenceBank bacterial_bank(Rng& rng, const SharedPools& pools,
+                                   const std::string& name,
+                                   const BacterialBankParams& params) {
+  seqio::SequenceBank bank(name);
+  const std::size_t replicons = std::max<std::size_t>(1, params.num_replicons);
+  const std::size_t per_replicon = params.target_bases / replicons;
+  for (std::size_t r = 0; r < replicons; ++r) {
+    CodeString seq;
+    seq.reserve(per_replicon + 32 * 1024);
+
+    // Decide the insertions for this replicon.
+    std::vector<CodeString> inserts;
+    const auto n_islands = static_cast<std::size_t>(
+        std::round(params.island_copies_per_replicon));
+    for (std::size_t k = 0; k < n_islands && !pools.islands().empty(); ++k) {
+      const auto& isl = pools.islands()[rng.next_below(pools.islands().size())];
+      inserts.push_back(mutate(
+          rng, isl, MutationModel::with_divergence(
+                        params.island_divergence * (0.5 + rng.next_double()))));
+    }
+    const auto n_universal = static_cast<std::size_t>(
+        std::round(params.universal_copies_per_replicon));
+    for (std::size_t k = 0; k < n_universal && !pools.universal().empty();
+         ++k) {
+      const auto& u =
+          pools.universal()[rng.next_below(pools.universal().size())];
+      inserts.push_back(mutate(rng, u, MutationModel::with_divergence(0.01)));
+    }
+
+    // Interleave random backbone with the insertions.
+    std::size_t insert_budget = 0;
+    for (const auto& ins : inserts) insert_budget += ins.size();
+    const std::size_t backbone =
+        per_replicon > insert_budget ? per_replicon - insert_budget : 0;
+    const std::size_t segments = inserts.size() + 1;
+    const std::size_t seg_len = backbone / segments;
+    for (std::size_t k = 0; k < inserts.size(); ++k) {
+      append(seq, random_codes(rng, seg_len));
+      append(seq, inserts[k]);
+    }
+    append(seq, random_codes(rng, per_replicon > seq.size()
+                                      ? per_replicon - seq.size()
+                                      : 0));
+    bank.add_codes(name + "_rep" + std::to_string(r), seq);
+  }
+  return bank;
+}
+
+seqio::SequenceBank chromosome_bank(Rng& rng, const SharedPools& pools,
+                                    const std::string& name,
+                                    const ChromosomeParams& params) {
+  seqio::SequenceBank bank(name);
+  const std::size_t contigs = std::max<std::size_t>(1, params.num_contigs);
+  const std::size_t per_contig = params.target_bases / contigs;
+
+  for (std::size_t c = 0; c < contigs; ++c) {
+    CodeString seq;
+    seq.reserve(per_contig + 64 * 1024);
+    std::size_t repeat_bases = 0;
+    std::size_t erv_bases = 0;
+    while (seq.size() < per_contig) {
+      // Random backbone stretch.
+      const std::size_t stretch = 300 + rng.next_below(1200);
+      append(seq, random_codes(rng, std::min(stretch, per_contig - seq.size())));
+      if (seq.size() >= per_contig) break;
+
+      // Interpret the fractions as target coverage: insert whichever
+      // element class is furthest below its target.
+      const double rep_deficit =
+          params.repeat_fraction -
+          static_cast<double>(repeat_bases) / static_cast<double>(seq.size());
+      const double erv_deficit =
+          params.erv_fraction -
+          static_cast<double>(erv_bases) / static_cast<double>(seq.size());
+      const bool want_repeat = rep_deficit > 0 && rep_deficit >= erv_deficit;
+      const bool want_erv = erv_deficit > 0 && !want_repeat;
+      if (want_repeat && !pools.repeats().empty()) {
+        // Insert a diverged repeat-family copy.
+        const auto& rep =
+            pools.repeats()[rng.next_below(pools.repeats().size())];
+        const double div = params.repeat_divergence_min +
+                           (params.repeat_divergence_max -
+                            params.repeat_divergence_min) *
+                               rng.next_double();
+        const CodeString copy =
+            mutate(rng, rep, MutationModel::with_divergence(div));
+        repeat_bases += copy.size();
+        append(seq, copy);
+      } else if (want_erv && pools.erv_count() > 0) {
+        // Insert a diverged ERV fragment from the shared viral ancestors.
+        const auto& anc = pools.viral()[rng.next_below(pools.erv_count())];
+        const std::size_t len =
+            std::max<std::size_t>(200, anc.size() / (1 + rng.next_below(3)));
+        CodeString frag = random_fragment(rng, anc, len);
+        // Young, mildly diverged insertions: chromosome-vs-viral alignments
+        // must be robust (the paper's H10/H19-vs-VRL runs agree to ~0.1%),
+        // so the fragmentation of these alignments cannot sit on the edge
+        // of the extension heuristics.
+        const double div = 0.010 + 0.025 * rng.next_double();
+        const CodeString copy =
+            mutate(rng, frag, MutationModel::with_divergence(div));
+        erv_bases += copy.size();
+        append(seq, copy);
+      }
+    }
+    seq.resize(per_contig);
+    bank.add_codes(name + "_ctg" + std::to_string(c), seq);
+  }
+  return bank;
+}
+
+HomologousPair make_homologous_pair(Rng& rng, std::size_t seq_len,
+                                    std::size_t num_seqs, std::size_t pairs,
+                                    double divergence) {
+  HomologousPair out;
+  out.bank1.set_name("hp_bank1");
+  out.bank2.set_name("hp_bank2");
+  std::vector<CodeString> originals;
+  for (std::size_t i = 0; i < num_seqs; ++i) {
+    originals.push_back(random_codes(rng, seq_len));
+    out.bank1.add_codes("b1_" + std::to_string(i), originals.back());
+  }
+  const MutationModel model = MutationModel::with_divergence(divergence);
+  for (std::size_t i = 0; i < pairs && i < originals.size(); ++i) {
+    const CodeString copy = mutate(rng, originals[i], model);
+    out.bank2.add_codes("b2_hom_" + std::to_string(i), copy);
+    ++out.planted_pairs;
+  }
+  for (std::size_t i = pairs; i < num_seqs; ++i) {
+    out.bank2.add_codes("b2_noise_" + std::to_string(i),
+                        random_codes(rng, seq_len));
+  }
+  return out;
+}
+
+}  // namespace scoris::simulate

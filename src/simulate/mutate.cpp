@@ -1,0 +1,34 @@
+#include "simulate/mutate.hpp"
+
+namespace scoris::simulate {
+
+seqio::Code substitute_base(Rng& rng, seqio::Code original) {
+  if (!seqio::is_base(original)) return original;
+  // Pick one of the other three bases uniformly.
+  const auto shift = static_cast<seqio::Code>(1 + rng.next_below(3));
+  return static_cast<seqio::Code>((original + shift) & 3);
+}
+
+CodeString mutate(Rng& rng, std::span<const seqio::Code> input,
+                  const MutationModel& model) {
+  CodeString out;
+  out.reserve(input.size() + input.size() / 16 + 8);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (rng.next_bool(model.ins_rate)) {
+      const std::size_t run = 1 + rng.next_geometric(model.indel_extend);
+      for (std::size_t k = 0; k < run; ++k) {
+        out.push_back(static_cast<seqio::Code>(rng.next_below(4)));
+      }
+    }
+    if (rng.next_bool(model.del_rate)) {
+      const std::size_t run = 1 + rng.next_geometric(model.indel_extend);
+      i += run - 1;  // skip the deleted bases (loop ++ adds one more)
+      continue;
+    }
+    const seqio::Code c = input[i];
+    out.push_back(rng.next_bool(model.sub_rate) ? substitute_base(rng, c) : c);
+  }
+  return out;
+}
+
+}  // namespace scoris::simulate

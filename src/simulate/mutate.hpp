@@ -1,0 +1,42 @@
+// Sequence mutation models: substitutions plus geometric-length indels.
+//
+// Used to derive homologous copies (ESTs of the same gene, viral family
+// members, diverged repeat instances).  The paper's sensitivity analysis
+// hinges on alignments with substitution errors and gaps near the anchoring
+// seed — exactly what these models produce.
+#pragma once
+
+#include <string>
+
+#include "seqio/nucleotide.hpp"
+#include "simulate/rng.hpp"
+
+namespace scoris::simulate {
+
+using CodeString = std::basic_string<seqio::Code>;
+
+struct MutationModel {
+  double sub_rate = 0.02;     ///< per-base substitution probability
+  double ins_rate = 0.0015;   ///< per-base insertion-open probability
+  double del_rate = 0.0015;   ///< per-base deletion-open probability
+  double indel_extend = 0.3;  ///< geometric continuation of an indel run
+
+  /// A model producing sequences with the given approximate divergence
+  /// (fraction of changed positions), mostly substitutions.
+  [[nodiscard]] static MutationModel with_divergence(double divergence) {
+    MutationModel m;
+    m.sub_rate = divergence * 0.85;
+    m.ins_rate = divergence * 0.075;
+    m.del_rate = divergence * 0.075;
+    return m;
+  }
+};
+
+/// Produce a mutated copy of `input`.
+[[nodiscard]] CodeString mutate(Rng& rng, std::span<const seqio::Code> input,
+                                const MutationModel& model);
+
+/// Substitute exactly toward a different base (never the identity).
+[[nodiscard]] seqio::Code substitute_base(Rng& rng, seqio::Code original);
+
+}  // namespace scoris::simulate

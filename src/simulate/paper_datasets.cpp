@@ -1,0 +1,91 @@
+#include "simulate/paper_datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scoris::simulate {
+
+const std::vector<PaperBankSpec>& PaperData::specs() {
+  static const std::vector<PaperBankSpec> kSpecs = {
+      {"EST1", 13013, 6.44, BankKind::kEst},
+      {"EST2", 11220, 6.65, BankKind::kEst},
+      {"EST3", 37483, 14.64, BankKind::kEst},
+      {"EST4", 34902, 14.87, BankKind::kEst},
+      {"EST5", 50537, 25.48, BankKind::kEst},
+      {"EST6", 53550, 25.20, BankKind::kEst},
+      {"EST7", 88452, 40.08, BankKind::kEst},
+      {"VRL", 72113, 65.84, BankKind::kViral},
+      {"BCT", 59, 98.10, BankKind::kBacterial},
+      {"H10", 19, 131.73, BankKind::kChromosome},
+      {"H19", 6, 56.03, BankKind::kChromosome},
+  };
+  return kSpecs;
+}
+
+const PaperBankSpec& PaperData::spec(std::string_view name) {
+  for (const auto& s : specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("PaperData: unknown bank " + std::string(name));
+}
+
+PoolParams PaperData::scaled_pools(double scale) {
+  PoolParams p;
+  const auto scaled = [scale](double full, double floor_v) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::max(floor_v, std::round(full * scale)));
+  };
+  p.gene_count = scaled(4000, 40);
+  p.viral_ancestors = scaled(600, 10);
+  p.erv_ancestor_fraction = 0.4;
+  p.bct_islands = scaled(120, 8);
+  p.universal_elements = 5;  // fixed: a universal pool does not grow
+  return p;
+}
+
+PaperData::PaperData(double scale, std::uint64_t seed)
+    : scale_(scale), seed_(seed), pools_(seed, scaled_pools(scale)) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("PaperData: scale must be in (0, 1]");
+  }
+}
+
+seqio::SequenceBank PaperData::make(std::string_view name) const {
+  const PaperBankSpec& s = spec(name);
+  const auto target = static_cast<std::size_t>(
+      std::max(1.0, s.full_mbp * 1e6 * scale_));
+  Rng rng(seed_ ^ hash_name(s.name));
+
+  switch (s.kind) {
+    case BankKind::kEst: {
+      EstBankParams p;
+      p.target_bases = target;
+      return est_bank(rng, pools_, s.name, p);
+    }
+    case BankKind::kViral: {
+      ViralBankParams p;
+      p.target_bases = target;
+      return viral_bank(rng, pools_, s.name, p);
+    }
+    case BankKind::kBacterial: {
+      BacterialBankParams p;
+      p.target_bases = target;
+      p.num_replicons = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::round(
+                 static_cast<double>(s.full_nseq) * scale_ * 2.0)));
+      return bacterial_bank(rng, pools_, s.name, p);
+    }
+    case BankKind::kChromosome: {
+      ChromosomeParams p;
+      p.target_bases = target;
+      p.num_contigs = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::round(
+                 static_cast<double>(s.full_nseq) * scale_ * 2.0)));
+      return chromosome_bank(rng, pools_, s.name, p);
+    }
+  }
+  throw std::logic_error("PaperData: unhandled bank kind");
+}
+
+}  // namespace scoris::simulate

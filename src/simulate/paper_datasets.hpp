@@ -1,0 +1,59 @@
+// Registry of the paper's eleven data sets (section 3.2), rebuilt
+// synthetically at a configurable scale.
+//
+//   Bank  Origin                      nb. seq   nb. nt (Mbp)
+//   EST1..EST7  GenBank EST division  11k-88k   6.4 - 40.1
+//   VRL   GenBank gbvrl1              72113     65.84
+//   BCT   misc. bacteria genomes      59        98.10
+//   H10   Human chromosome 10         19        131.73
+//   H19   Human chromosome 19         6         56.03
+//
+// `scale` multiplies the nucleotide counts (default 1/25) so the paper's
+// laptop-scale experiments fit this container; all banks of one PaperData
+// instance share the same SharedPools universe, which is what creates the
+// paper's cross-bank homology structure (EST x EST rich, H x VRL rich via
+// ERVs, H x BCT empty...).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simulate/generators.hpp"
+
+namespace scoris::simulate {
+
+enum class BankKind { kEst, kViral, kBacterial, kChromosome };
+
+struct PaperBankSpec {
+  std::string name;
+  std::size_t full_nseq;
+  double full_mbp;
+  BankKind kind;
+};
+
+class PaperData {
+ public:
+  explicit PaperData(double scale = 0.04, std::uint64_t seed = 42);
+
+  /// The paper's data-set table.
+  [[nodiscard]] static const std::vector<PaperBankSpec>& specs();
+  [[nodiscard]] static const PaperBankSpec& spec(std::string_view name);
+
+  /// Build a bank by its paper name ("EST1" ... "H19").
+  /// Deterministic for a given (scale, seed). Throws on unknown names.
+  [[nodiscard]] seqio::SequenceBank make(std::string_view name) const;
+
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] const SharedPools& pools() const { return pools_; }
+
+  /// Pool parameters scaled so pairwise alignment counts scale ~linearly.
+  [[nodiscard]] static PoolParams scaled_pools(double scale);
+
+ private:
+  double scale_;
+  std::uint64_t seed_;
+  SharedPools pools_;
+};
+
+}  // namespace scoris::simulate

@@ -1,0 +1,172 @@
+#include "stats/karlin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace scoris::stats {
+namespace {
+
+constexpr int kMaxWalkSteps = 60;      // convolution depth for sigma
+constexpr double kSigmaTermEps = 1e-14;  // stop when a term is negligible
+
+/// Greatest common divisor of the support offsets of non-zero scores.
+int support_gcd(const ScoreDistribution& d) {
+  int g = 0;
+  for (int s = d.low; s <= d.high; ++s) {
+    if (d.prob[static_cast<std::size_t>(s - d.low)] > 0.0 && s != 0) {
+      g = std::gcd(g, std::abs(s));
+    }
+  }
+  return g == 0 ? 1 : g;
+}
+
+double mean_score(const ScoreDistribution& d) {
+  double m = 0.0;
+  for (int s = d.low; s <= d.high; ++s) {
+    m += s * d.prob[static_cast<std::size_t>(s - d.low)];
+  }
+  return m;
+}
+
+/// phi(lambda) = sum_s p(s) exp(lambda s) - 1; strictly convex with
+/// phi(0) = 0, phi'(0) = E[s] < 0, phi(inf) = inf, so the positive root is
+/// unique. Solved by bisection + Newton polish.
+double solve_lambda(const ScoreDistribution& d) {
+  const auto phi = [&](double lam) {
+    double v = -1.0;
+    for (int s = d.low; s <= d.high; ++s) {
+      v += d.prob[static_cast<std::size_t>(s - d.low)] * std::exp(lam * s);
+    }
+    return v;
+  };
+
+  // Bracket the root: expand hi until phi(hi) > 0.
+  double hi = 0.5;
+  while (phi(hi) < 0.0) {
+    hi *= 2.0;
+    if (hi > 1e3) throw std::runtime_error("karlin: lambda bracket failed");
+  }
+  double lo = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (phi(mid) < 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+ScoreDistribution match_mismatch_distribution(
+    int match, int mismatch, const std::vector<double>& base_freqs) {
+  if (match <= 0 || mismatch <= 0) {
+    throw std::invalid_argument("karlin: match and mismatch must be positive");
+  }
+  std::vector<double> p = base_freqs;
+  if (p.empty()) p.assign(4, 0.25);
+  if (p.size() != 4) {
+    throw std::invalid_argument("karlin: need 4 base frequencies");
+  }
+  const double total = std::accumulate(p.begin(), p.end(), 0.0);
+  for (auto& v : p) v /= total;
+
+  double p_match = 0.0;
+  for (const double f : p) p_match += f * f;
+
+  ScoreDistribution d;
+  d.low = -mismatch;
+  d.high = match;
+  d.prob.assign(static_cast<std::size_t>(d.high - d.low + 1), 0.0);
+  d.prob.front() = 1.0 - p_match;  // score == -mismatch
+  d.prob.back() = p_match;         // score == +match
+  return d;
+}
+
+KarlinParams solve_karlin(const ScoreDistribution& dist) {
+  if (dist.prob.size() !=
+      static_cast<std::size_t>(dist.high - dist.low + 1)) {
+    throw std::invalid_argument("karlin: malformed distribution");
+  }
+  if (dist.high <= 0) {
+    throw std::invalid_argument("karlin: no positive score in support");
+  }
+  if (mean_score(dist) >= 0.0) {
+    throw std::invalid_argument("karlin: expected score must be negative");
+  }
+
+  KarlinParams out;
+  out.lambda = solve_lambda(dist);
+
+  // H = lambda * E[s e^{lambda s}] (derivative of the cgf at lambda).
+  double es = 0.0;
+  for (int s = dist.low; s <= dist.high; ++s) {
+    es += s * dist.prob[static_cast<std::size_t>(s - dist.low)] *
+          std::exp(out.lambda * s);
+  }
+  out.h = out.lambda * es;
+
+  // sigma via direct convolution of the walk distribution.
+  // walk[s - k*low] = Pr(S_k == s) over support [k*low, k*high].
+  const int span1 = dist.high - dist.low + 1;
+  std::vector<double> walk(dist.prob);
+  double sigma = 0.0;
+  for (int k = 1; k <= kMaxWalkSteps; ++k) {
+    const int lo_k = k * dist.low;
+    double term = 0.0;
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      const int s = lo_k + static_cast<int>(i);
+      if (walk[i] == 0.0) continue;
+      term += (s >= 0) ? walk[i] : walk[i] * std::exp(out.lambda * s);
+    }
+    sigma += term / k;
+    if (term / k < kSigmaTermEps) break;
+    if (k < kMaxWalkSteps) {
+      // Convolve walk with the one-step distribution.
+      std::vector<double> next(walk.size() + static_cast<std::size_t>(span1) - 1,
+                               0.0);
+      for (std::size_t i = 0; i < walk.size(); ++i) {
+        if (walk[i] == 0.0) continue;
+        for (int j = 0; j < span1; ++j) {
+          next[i + static_cast<std::size_t>(j)] +=
+              walk[i] * dist.prob[static_cast<std::size_t>(j)];
+        }
+      }
+      walk.swap(next);
+    }
+  }
+
+  const int d = support_gcd(dist);
+  out.k = out.lambda * d * std::exp(-2.0 * sigma) /
+          (out.h * (1.0 - std::exp(-out.lambda * d)));
+  return out;
+}
+
+KarlinParams karlin_match_mismatch(int match, int mismatch) {
+  return solve_karlin(match_mismatch_distribution(match, mismatch));
+}
+
+double bit_score(const KarlinParams& p, double raw_score) {
+  return (p.lambda * raw_score - std::log(p.k)) / std::log(2.0);
+}
+
+double evalue(const KarlinParams& p, double raw_score, double m, double n) {
+  return p.k * m * n * std::exp(-p.lambda * raw_score);
+}
+
+int min_score_for_evalue(const KarlinParams& p, double m, double n,
+                         double max_evalue) {
+  // E <= max_evalue  <=>  S >= (ln(K m n) - ln E) / lambda.
+  const double s =
+      (std::log(p.k * m * n) - std::log(max_evalue)) / p.lambda;
+  return static_cast<int>(std::ceil(std::max(0.0, s)));
+}
+
+double expected_hsp_length(const KarlinParams& p, double m, double n) {
+  if (m <= 0 || n <= 0) return 0.0;
+  const double len = std::log(p.k * m * n) / p.h;
+  if (len >= m || len >= n || len < 0) return 0.0;
+  return len;
+}
+
+}  // namespace scoris::stats

@@ -1,0 +1,70 @@
+// Karlin–Altschul statistics for ungapped local alignment scores.
+//
+// Both SCORIS-N and the BLASTN baseline attach an expected value to every
+// alignment (paper sections 2.4 / 3.1): E = K * m * n * exp(-lambda * S).
+// lambda is the unique positive solution of  sum_s p(s) e^{lambda s} = 1,
+// H is the relative entropy of the aligned-letter distribution, and K is
+// computed with the Spitzer-sum formula
+//     K = lambda * d * exp(-2 sigma) / (H * (1 - exp(-lambda d)))
+//     sigma = sum_{k>=1} (1/k) [ Pr(S_k >= 0) + E(e^{lambda S_k}; S_k < 0) ]
+// where S_k is the k-step random walk of letter scores and d the gcd of the
+// score support — the same quantity the NCBI BLAST code evaluates
+// numerically.  For match/mismatch scoring the convolution support is tiny,
+// so we evaluate sigma by direct convolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scoris::stats {
+
+/// Solved statistical parameters for one scoring system.
+struct KarlinParams {
+  double lambda = 0.0;  ///< scale of the score distribution (nats per unit)
+  double k = 0.0;       ///< search-space prefactor
+  double h = 0.0;       ///< relative entropy per aligned pair (nats)
+
+  [[nodiscard]] bool valid() const { return lambda > 0 && k > 0 && h > 0; }
+};
+
+/// Score distribution of one aligned letter pair: probabilities for scores
+/// `low .. high` (inclusive), in order. Must have positive mean-negative
+/// drift (expected score < 0) and a positive maximal score.
+struct ScoreDistribution {
+  int low = 0;
+  int high = 0;
+  std::vector<double> prob;  // prob[s - low] = Pr(score == s)
+};
+
+/// Build the letter-pair score distribution for match/mismatch scoring with
+/// the given background base composition (default uniform 0.25).
+/// `match` > 0 is the reward; `mismatch` > 0 is the penalty magnitude.
+[[nodiscard]] ScoreDistribution match_mismatch_distribution(
+    int match, int mismatch, const std::vector<double>& base_freqs = {});
+
+/// Solve lambda, K, H for a score distribution.
+/// Throws std::invalid_argument when the distribution has non-negative
+/// expected score or no positive score.
+[[nodiscard]] KarlinParams solve_karlin(const ScoreDistribution& dist);
+
+/// Convenience: parameters for match/mismatch scoring, uniform composition.
+[[nodiscard]] KarlinParams karlin_match_mismatch(int match, int mismatch);
+
+/// Raw score -> bit score:  S' = (lambda*S - ln K) / ln 2.
+[[nodiscard]] double bit_score(const KarlinParams& p, double raw_score);
+
+/// Expected value for a raw score in an m x n search space.
+[[nodiscard]] double evalue(const KarlinParams& p, double raw_score,
+                            double m, double n);
+
+/// Smallest raw score whose e-value in an m x n space is <= `max_evalue`.
+[[nodiscard]] int min_score_for_evalue(const KarlinParams& p, double m,
+                                       double n, double max_evalue);
+
+/// BLAST-style effective length correction: expected HSP length for the
+/// given search space, used to shrink m and n. Returns 0 when it would
+/// exceed either dimension.
+[[nodiscard]] double expected_hsp_length(const KarlinParams& p, double m,
+                                         double n);
+
+}  // namespace scoris::stats

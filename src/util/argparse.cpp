@@ -1,0 +1,68 @@
+#include "util/argparse.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace scoris::util {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args out;
+  if (argc > 0) out.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      out.positional_.emplace_back(tok);
+      continue;
+    }
+    tok.remove_prefix(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string_view::npos) {
+      out.flags_[std::string(tok.substr(0, eq))] =
+          std::string(tok.substr(eq + 1));
+      continue;
+    }
+    // `--name value` form: consume the next token unless it is also a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      out.flags_[std::string(tok)] = argv[++i];
+    } else {
+      out.flags_[std::string(tok)] = "true";
+    }
+  }
+  return out;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+bool Args::get_flag(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  return !(v == "false" || v == "0" || v == "no");
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+}  // namespace scoris::util

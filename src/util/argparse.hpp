@@ -1,0 +1,52 @@
+// Tiny command-line flag parser shared by the examples and bench harnesses.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` flags, plus
+// free positional arguments.  Unknown flags are collected so callers can
+// decide whether to reject them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scoris::util {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parse argv. Flags must start with `--`. A flag not followed by a value
+  /// (next token starts with `--`, or it is last) is treated as boolean true.
+  static Args parse(int argc, const char* const* argv);
+
+  /// String value of a flag, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Integer value of a flag, or `fallback` when absent/unparsable.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Floating-point value of a flag, or `fallback` when absent/unparsable.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// True when the flag is present and not explicitly "false"/"0"/"no".
+  [[nodiscard]] bool get_flag(const std::string& name,
+                              bool fallback = false) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace scoris::util

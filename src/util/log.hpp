@@ -1,0 +1,48 @@
+// Leveled stderr logging. Default level is kInfo; benches lower it to
+// kWarn so table output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scoris::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line at `level` (thread-safe, single write).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+std::string cat(const Ts&... parts) {
+  std::ostringstream ss;
+  (ss << ... << parts);
+  return ss.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::cat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::cat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::cat(parts...));
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  log_line(LogLevel::kError, detail::cat(parts...));
+}
+
+}  // namespace scoris::util

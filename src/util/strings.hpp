@@ -1,0 +1,28 @@
+// Small string helpers used across the codebase.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scoris::util {
+
+/// Split `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any run of whitespace, dropping empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Human-readable byte count ("12.3 MB").
+[[nodiscard]] std::string human_bytes(std::size_t bytes);
+
+}  // namespace scoris::util

@@ -1,0 +1,41 @@
+// Fixed-width ASCII table printer.
+//
+// Every bench harness reproduces one of the paper's tables; printing them in
+// an aligned layout that mirrors the paper makes paper-vs-measured
+// comparison a visual diff.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scoris::util {
+
+/// Column-aligned table with a header row and optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Set a title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Append a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Format helpers used by the harnesses.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scoris::util

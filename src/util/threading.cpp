@@ -1,0 +1,78 @@
+#include "util/threading.hpp"
+
+#include <algorithm>
+
+namespace scoris::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t chunks_per_thread) {
+  if (end <= begin) return;
+  const std::size_t span = end - begin;
+  if (threads <= 1 || span == 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunks =
+      std::min(span, std::max<std::size_t>(1, threads * chunks_per_thread));
+  const std::size_t step = (span + chunks - 1) / chunks;
+
+  ThreadPool pool(threads);
+  for (std::size_t lo = begin; lo < end; lo += step) {
+    const std::size_t hi = std::min(end, lo + step);
+    pool.submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace scoris::util

@@ -1,0 +1,62 @@
+// Minimal work-sharing thread pool plus parallel_for helpers.
+//
+// The ORIS paper (section 4) observes that the outer loop of step 2 — the
+// enumeration of all 4^W seed codes — is embarrassingly parallel *because*
+// the seed-order condition already guarantees globally unique HSPs, so
+// workers never need to coordinate on de-duplication.  The pipeline uses
+// this pool to partition seed-code ranges (step 2) and HSP chunks (step 3).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace scoris::util {
+
+/// Fixed-size pool of worker threads consuming a FIFO of tasks.
+///
+/// Tasks are `std::function<void()>`; exceptions escaping a task terminate
+/// the program (tasks are expected to capture-and-report their own errors).
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers. `threads == 0` is clamped to 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signalled when a task is available
+  std::condition_variable cv_idle_;   // signalled when the pool may be idle
+  std::size_t in_flight_ = 0;         // tasks popped but not yet finished
+  bool stop_ = false;
+};
+
+/// Run `fn(chunk_begin, chunk_end)` over [begin, end) split into
+/// approximately `threads * chunks_per_thread` contiguous chunks.
+///
+/// With `threads <= 1` the call degenerates to a single inline invocation,
+/// so callers need no special single-threaded path.
+void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t chunks_per_thread = 4);
+
+}  // namespace scoris::util

@@ -1,0 +1,43 @@
+// Wall-clock timing utilities used by the benchmark harnesses.
+//
+// The paper reports `time`-command user seconds; we report monotonic wall
+// seconds, which on a single-process run of a CPU-bound pipeline is the same
+// quantity for all practical purposes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace scoris::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Measure the wall time of a callable, in seconds.
+template <typename Fn>
+[[nodiscard]] double timed(Fn&& fn) {
+  WallTimer t;
+  fn();
+  return t.seconds();
+}
+
+}  // namespace scoris::util

@@ -1,0 +1,137 @@
+// Tests for the memory-bounded chunked driver: slicing, remapping, and
+// the bit-identity of chunked vs unchunked runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "compare/m8.hpp"
+#include "core/chunked.hpp"
+#include "core/pipeline.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/paper_datasets.hpp"
+#include "simulate/rng.hpp"
+
+namespace scoris::core {
+namespace {
+
+TEST(SliceBank, CopiesRangeWithNamesAndContent) {
+  simulate::Rng rng(601);
+  seqio::SequenceBank bank("orig");
+  for (int i = 0; i < 6; ++i) {
+    bank.add_codes("s" + std::to_string(i),
+                   simulate::random_codes(rng, 50 + 10 * static_cast<std::size_t>(i)));
+  }
+  const auto slice = slice_bank(bank, 2, 5);
+  ASSERT_EQ(slice.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(slice.seq_name(i), bank.seq_name(i + 2));
+    EXPECT_EQ(slice.bases(i), bank.bases(i + 2));
+  }
+}
+
+TEST(SliceBank, RejectsBadRanges) {
+  seqio::SequenceBank bank;
+  bank.add("a", "ACGT");
+  EXPECT_THROW((void)slice_bank(bank, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)slice_bank(bank, 0, 2), std::invalid_argument);
+}
+
+TEST(EstimatedIndexBytes, FiveBytesPerNtPlusDictionary) {
+  simulate::Rng rng(603);
+  seqio::SequenceBank bank;
+  bank.add_codes("s", simulate::random_codes(rng, 100000));
+  const auto est = estimated_index_bytes(bank, 11);
+  const double per_nt =
+      static_cast<double>(est - (1u << 22) * 4) /
+      static_cast<double>(bank.total_bases());
+  EXPECT_NEAR(per_nt, 5.0, 0.1);
+}
+
+TEST(Chunked, IdenticalToUnchunkedRun) {
+  simulate::Rng rng(607);
+  const auto hp = simulate::make_homologous_pair(rng, 400, 12, 9, 0.05);
+
+  ChunkedOptions copt;
+  copt.min_chunks = 4;  // force slicing regardless of the budget
+  const auto chunked = run_chunked(hp.bank1, hp.bank2, copt);
+  EXPECT_EQ(chunked.chunks, 4u);
+
+  const auto whole = Pipeline(copt.pipeline).run(hp.bank1, hp.bank2);
+  ASSERT_EQ(chunked.alignments.size(), whole.alignments.size());
+  for (std::size_t i = 0; i < whole.alignments.size(); ++i) {
+    const auto& a = chunked.alignments[i];
+    const auto& b = whole.alignments[i];
+    EXPECT_EQ(std::tuple(a.seq1, a.seq2, a.s1, a.e1, a.s2, a.e2, a.score),
+              std::tuple(b.seq1, b.seq2, b.s1, b.e1, b.s2, b.e2, b.score));
+    EXPECT_DOUBLE_EQ(a.evalue, b.evalue);
+  }
+  EXPECT_EQ(chunked.stats.hit_pairs, whole.stats.hit_pairs);
+  EXPECT_EQ(chunked.stats.hsps, whole.stats.hsps);
+}
+
+TEST(Chunked, IdenticalUnderAsymmetricIndexing) {
+  // Sequence-local stride semantics keep asymmetric runs chunk-invariant.
+  simulate::Rng rng(611);
+  const auto hp = simulate::make_homologous_pair(rng, 500, 9, 7, 0.04);
+  ChunkedOptions copt;
+  copt.pipeline.asymmetric = true;
+  copt.min_chunks = 3;
+  const auto chunked = run_chunked(hp.bank1, hp.bank2, copt);
+  const auto whole = Pipeline(copt.pipeline).run(hp.bank1, hp.bank2);
+  ASSERT_EQ(chunked.alignments.size(), whole.alignments.size());
+  for (std::size_t i = 0; i < whole.alignments.size(); ++i) {
+    EXPECT_EQ(chunked.alignments[i].s2, whole.alignments[i].s2);
+    EXPECT_EQ(chunked.alignments[i].score, whole.alignments[i].score);
+  }
+}
+
+TEST(Chunked, M8OutputIdentical) {
+  const simulate::PaperData data(0.002, 55);
+  const auto est1 = data.make("EST1");
+  const auto est2 = data.make("EST2");
+
+  ChunkedOptions copt;
+  copt.min_chunks = 5;
+  const auto chunked = run_chunked(est1, est2, copt);
+  const auto whole = Pipeline(copt.pipeline).run(est1, est2);
+
+  std::ostringstream m8_chunked, m8_whole;
+  compare::write_m8(m8_chunked, chunked.alignments, est1, est2);
+  write_result_m8(m8_whole, whole, est1, est2);
+  EXPECT_EQ(m8_chunked.str(), m8_whole.str());
+  EXPECT_FALSE(m8_whole.str().empty());
+}
+
+TEST(Chunked, BudgetDrivesChunkCount) {
+  simulate::Rng rng(613);
+  seqio::SequenceBank b1("b1"), b2("b2");
+  for (int i = 0; i < 20; ++i) {
+    b1.add_codes("a" + std::to_string(i), simulate::random_codes(rng, 2000));
+    b2.add_codes("b" + std::to_string(i), simulate::random_codes(rng, 2000));
+  }
+  ChunkedOptions tight;
+  // Budget just over one dictionary + index1: forces many slices.
+  tight.memory_budget_bytes =
+      estimated_index_bytes(b1, 11) + (1u << 22) * 4 + 60000;
+  const auto r_tight = run_chunked(b1, b2, tight);
+  ChunkedOptions loose;
+  loose.memory_budget_bytes = std::size_t{4} << 30;
+  const auto r_loose = run_chunked(b1, b2, loose);
+  EXPECT_GT(r_tight.chunks, 1u);
+  EXPECT_EQ(r_loose.chunks, 1u);
+}
+
+TEST(Chunked, SingleSequenceBankCannotSplit) {
+  simulate::Rng rng(617);
+  seqio::SequenceBank b1("b1"), b2("b2");
+  b1.add_codes("a", simulate::random_codes(rng, 5000));
+  b2.add_codes("b", simulate::random_codes(rng, 5000));
+  ChunkedOptions copt;
+  copt.memory_budget_bytes = 1;  // impossible budget
+  const auto r = run_chunked(b1, b2, copt);
+  EXPECT_EQ(r.chunks, 1u);  // a single sequence cannot be sliced
+}
+
+}  // namespace
+}  // namespace scoris::core

@@ -1,0 +1,190 @@
+// Tests for src/compare: m8 formatting/parsing and the 80 %-overlap
+// sensitivity metric.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compare/m8.hpp"
+#include "compare/sensitivity.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/rng.hpp"
+
+namespace scoris::compare {
+namespace {
+
+M8Record make_record(const std::string& q, const std::string& s,
+                     std::uint64_t qs, std::uint64_t qe, std::uint64_t ss,
+                     std::uint64_t se) {
+  M8Record r;
+  r.qseqid = q;
+  r.sseqid = s;
+  r.pident = 98.5;
+  r.length = static_cast<std::uint32_t>(qe - qs + 1);
+  r.mismatch = 1;
+  r.gapopen = 0;
+  r.qstart = qs;
+  r.qend = qe;
+  r.sstart = ss;
+  r.send = se;
+  r.evalue = 1e-20;
+  r.bitscore = 80.4;
+  return r;
+}
+
+// --- m8 format ---------------------------------------------------------------
+
+TEST(M8, FormatHasTwelveTabSeparatedFields) {
+  const auto line = format_m8(make_record("q1", "s1", 1, 100, 11, 110));
+  int tabs = 0;
+  for (const char c : line) tabs += (c == '\t');
+  EXPECT_EQ(tabs, 11);
+}
+
+TEST(M8, ParseRoundTrip) {
+  const auto orig = make_record("query_7", "subj_9", 5, 250, 1000, 1245);
+  const auto back = parse_m8_line(format_m8(orig));
+  EXPECT_EQ(back.qseqid, orig.qseqid);
+  EXPECT_EQ(back.sseqid, orig.sseqid);
+  EXPECT_NEAR(back.pident, orig.pident, 0.01);
+  EXPECT_EQ(back.length, orig.length);
+  EXPECT_EQ(back.mismatch, orig.mismatch);
+  EXPECT_EQ(back.gapopen, orig.gapopen);
+  EXPECT_EQ(back.qstart, orig.qstart);
+  EXPECT_EQ(back.qend, orig.qend);
+  EXPECT_EQ(back.sstart, orig.sstart);
+  EXPECT_EQ(back.send, orig.send);
+  EXPECT_NEAR(back.evalue, orig.evalue, orig.evalue * 0.01);
+  EXPECT_NEAR(back.bitscore, orig.bitscore, 0.1);
+}
+
+TEST(M8, ParseDocumentSkipsCommentsAndBlanks) {
+  std::ostringstream doc;
+  doc << "# comment line\n\n";
+  doc << format_m8(make_record("a", "b", 1, 50, 1, 50)) << '\n';
+  doc << format_m8(make_record("c", "d", 2, 60, 3, 61)) << '\n';
+  const auto recs = parse_m8(doc.str());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].qseqid, "a");
+  EXPECT_EQ(recs[1].sseqid, "d");
+}
+
+TEST(M8, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_m8_line("too\tfew\tfields"), std::runtime_error);
+}
+
+TEST(M8, ToM8UsesLocalOneBasedCoordinates) {
+  seqio::SequenceBank b1("b1"), b2("b2");
+  b1.add("alpha", "ACGTACGTACGTACGTACGT");
+  b1.add("beta", "TTTTGGGGCCCCAAAATTTT");
+  b2.add("gamma", "ACGTACGTACGTACGTACGT");
+
+  align::GappedAlignment a;
+  a.seq1 = 1;  // beta
+  a.seq2 = 0;  // gamma
+  a.s1 = b1.offset(1) + 4;
+  a.e1 = b1.offset(1) + 12;
+  a.s2 = b2.offset(0) + 0;
+  a.e2 = b2.offset(0) + 8;
+  a.stats.length = 8;
+  a.stats.matches = 8;
+  a.evalue = 1e-5;
+  a.bitscore = 16.0;
+
+  const auto rec = to_m8(a, b1, b2);
+  EXPECT_EQ(rec.qseqid, "beta");
+  EXPECT_EQ(rec.sseqid, "gamma");
+  EXPECT_EQ(rec.qstart, 5u);   // local 4 -> 1-based 5
+  EXPECT_EQ(rec.qend, 12u);    // half-open 12 -> inclusive 12
+  EXPECT_EQ(rec.sstart, 1u);
+  EXPECT_EQ(rec.send, 8u);
+}
+
+TEST(M8, WriteM8EmitsOneLinePerRecord) {
+  std::vector<M8Record> recs = {make_record("a", "b", 1, 10, 1, 10),
+                                make_record("c", "d", 1, 20, 1, 20)};
+  std::ostringstream ss;
+  write_m8(ss, recs);
+  int newlines = 0;
+  for (const char c : ss.str()) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 2);
+}
+
+// --- overlap & equivalence -------------------------------------------------------
+
+TEST(Overlap, BasicCases) {
+  EXPECT_DOUBLE_EQ(interval_overlap(1, 100, 1, 100), 1.0);
+  EXPECT_DOUBLE_EQ(interval_overlap(1, 100, 101, 200), 0.0);
+  EXPECT_NEAR(interval_overlap(1, 100, 51, 150), 0.5, 1e-9);
+  // Shorter-in-longer: intersection 50, max length 100 -> 0.5.
+  EXPECT_NEAR(interval_overlap(1, 100, 26, 75), 0.5, 1e-9);
+}
+
+TEST(Overlap, SwappedEndpointsNormalized) {
+  EXPECT_DOUBLE_EQ(interval_overlap(100, 1, 1, 100), 1.0);
+}
+
+TEST(Equivalence, RequiresSameSequencePair) {
+  const auto a = make_record("q", "s", 1, 100, 1, 100);
+  auto b = a;
+  b.qseqid = "other";
+  EXPECT_TRUE(equivalent(a, a));
+  EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(Equivalence, EightyPercentThreshold) {
+  const auto a = make_record("q", "s", 1, 100, 1, 100);
+  // 85% overlap on both axes: equivalent.
+  const auto close_rec = make_record("q", "s", 1, 85, 1, 85);
+  EXPECT_TRUE(equivalent(a, close_rec));
+  // 70% overlap: not equivalent.
+  const auto far_rec = make_record("q", "s", 1, 70, 1, 70);
+  EXPECT_FALSE(equivalent(a, far_rec));
+  // 85% on the query but 70% on the subject: not equivalent (min rule).
+  const auto mixed = make_record("q", "s", 1, 85, 1, 70);
+  EXPECT_FALSE(equivalent(a, mixed));
+}
+
+TEST(Sensitivity, PerfectAgreement) {
+  std::vector<M8Record> a = {make_record("q1", "s1", 1, 100, 1, 100),
+                             make_record("q2", "s2", 5, 80, 5, 80)};
+  const auto r = compare_results(a, a);
+  EXPECT_EQ(r.a_total, 2u);
+  EXPECT_EQ(r.b_total, 2u);
+  EXPECT_EQ(r.a_miss, 0u);
+  EXPECT_EQ(r.b_miss, 0u);
+  EXPECT_DOUBLE_EQ(r.a_miss_pct(), 0.0);
+}
+
+TEST(Sensitivity, CountsMissesBothWays) {
+  // A has a unique alignment, B has two unique alignments.
+  std::vector<M8Record> a = {make_record("q1", "s1", 1, 100, 1, 100),
+                             make_record("qa", "sa", 1, 50, 1, 50)};
+  std::vector<M8Record> b = {make_record("q1", "s1", 2, 101, 2, 101),
+                             make_record("qb", "sb", 1, 50, 1, 50),
+                             make_record("qc", "sc", 1, 40, 1, 40)};
+  const auto r = compare_results(a, b);
+  EXPECT_EQ(r.a_miss, 2u);  // A lacks qb/sb and qc/sc
+  EXPECT_EQ(r.b_miss, 1u);  // B lacks qa/sa
+  EXPECT_NEAR(r.a_miss_pct(), 100.0 * 2 / 3, 1e-9);
+  EXPECT_NEAR(r.b_miss_pct(), 100.0 * 1 / 2, 1e-9);
+}
+
+TEST(Sensitivity, EmptySetsSafe) {
+  const std::vector<M8Record> none;
+  const auto r = compare_results(none, none);
+  EXPECT_DOUBLE_EQ(r.a_miss_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(r.b_miss_pct(), 0.0);
+}
+
+TEST(Sensitivity, MultipleCandidatesPerPair) {
+  // Two B alignments on the same (q,s) pair; A covers only one of them.
+  std::vector<M8Record> a = {make_record("q", "s", 1, 100, 1, 100)};
+  std::vector<M8Record> b = {make_record("q", "s", 1, 100, 1, 100),
+                             make_record("q", "s", 500, 600, 500, 600)};
+  const auto r = compare_results(a, b);
+  EXPECT_EQ(r.a_miss, 1u);
+  EXPECT_EQ(r.b_miss, 0u);
+}
+
+}  // namespace
+}  // namespace scoris::compare

@@ -1,0 +1,163 @@
+// Tests for alignment display: operation lists from the banded DP, CIGAR
+// serialization, and the three-line pairwise rendering.
+#include <gtest/gtest.h>
+
+#include "align/display.hpp"
+#include "align/gapped.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/mutate.hpp"
+#include "simulate/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace scoris::align {
+namespace {
+
+using scoris::testing::codes_of;
+
+std::vector<AlignOp> ops_for(std::span<const seqio::Code> a,
+                             std::span<const seqio::Code> b,
+                             const ScoringParams& p = {}) {
+  std::vector<AlignOp> ops;
+  std::int32_t score = 0;
+  (void)banded_global_stats(a, 0, static_cast<seqio::Pos>(a.size()), b, 0,
+                            static_cast<seqio::Pos>(b.size()), p, &score,
+                            &ops);
+  return ops;
+}
+
+TEST(AlignOps, PerfectMatchAllM) {
+  const auto a = codes_of("ACGTACGTACGT");
+  const auto ops = ops_for(a, a);
+  ASSERT_EQ(ops.size(), a.size());
+  for (const auto op : ops) EXPECT_EQ(op, AlignOp::kMatch);
+}
+
+TEST(AlignOps, InsertionProducesGapInSeq1) {
+  simulate::Rng rng(401);
+  const auto left = simulate::random_codes(rng, 30);
+  const auto right = simulate::random_codes(rng, 30);
+  const auto ins = simulate::random_codes(rng, 2);
+  const scoris::testing::CodeStr a = left + right;
+  const scoris::testing::CodeStr b = left + ins + right;
+  const auto ops = ops_for(a, b);
+  std::size_t gaps1 = 0, gaps2 = 0, matches = 0;
+  for (const auto op : ops) {
+    gaps1 += op == AlignOp::kGapInSeq1;
+    gaps2 += op == AlignOp::kGapInSeq2;
+    matches += op == AlignOp::kMatch;
+  }
+  EXPECT_EQ(gaps1, 2u);
+  EXPECT_EQ(gaps2, 0u);
+  EXPECT_EQ(matches, a.size());
+}
+
+TEST(AlignOps, ConsumptionMatchesLengths) {
+  // Property: #M + #D == |a| and #M + #I == |b| for random mutated pairs.
+  for (const std::uint64_t seed : {403ull, 404ull, 405ull, 406ull}) {
+    simulate::Rng rng(seed);
+    const auto a = simulate::random_codes(rng, 150);
+    const auto b = simulate::mutate(
+        rng, a, simulate::MutationModel::with_divergence(0.08));
+    const auto ops = ops_for(a, b);
+    std::size_t m = 0, i_ops = 0, d_ops = 0;
+    for (const auto op : ops) {
+      m += op == AlignOp::kMatch;
+      i_ops += op == AlignOp::kGapInSeq1;
+      d_ops += op == AlignOp::kGapInSeq2;
+    }
+    EXPECT_EQ(m + d_ops, a.size()) << seed;
+    EXPECT_EQ(m + i_ops, b.size()) << seed;
+  }
+}
+
+TEST(AlignOps, DegenerateEmptySides) {
+  const auto a = codes_of("ACGT");
+  std::vector<AlignOp> ops;
+  std::int32_t score = 0;
+  (void)banded_global_stats(a, 0, 4, a, 2, 2, ScoringParams{}, &score, &ops);
+  ASSERT_EQ(ops.size(), 4u);
+  for (const auto op : ops) EXPECT_EQ(op, AlignOp::kGapInSeq2);
+}
+
+TEST(Cigar, RunLengthEncoding) {
+  const std::vector<AlignOp> ops = {
+      AlignOp::kMatch,     AlignOp::kMatch,     AlignOp::kGapInSeq1,
+      AlignOp::kGapInSeq1, AlignOp::kGapInSeq1, AlignOp::kMatch,
+      AlignOp::kGapInSeq2, AlignOp::kMatch};
+  EXPECT_EQ(to_cigar(ops), "2M3I1M1D1M");
+  EXPECT_EQ(to_cigar({}), "");
+}
+
+TEST(Render, PerfectMatchLayout) {
+  const auto a = codes_of("ACGTACGT");
+  const auto ops = ops_for(a, a);
+  const std::string out = render_alignment(a, 0, 0, a, 0, 0, ops);
+  EXPECT_NE(out.find("ACGTACGT"), std::string::npos);
+  EXPECT_NE(out.find("||||||||"), std::string::npos);
+  EXPECT_NE(out.find("Query"), std::string::npos);
+  EXPECT_NE(out.find("Sbjct"), std::string::npos);
+  // Start coordinate 1 and end coordinate 8 appear.
+  EXPECT_NE(out.find(" 1\t"), std::string::npos);
+  EXPECT_NE(out.find("\t8"), std::string::npos);
+}
+
+TEST(Render, MismatchShowsSpace) {
+  const auto a = codes_of("AAAAAAAA");
+  auto b = a;
+  b[3] = seqio::kG;
+  std::vector<AlignOp> ops(a.size(), AlignOp::kMatch);
+  const std::string out = render_alignment(a, 0, 0, b, 0, 0, ops);
+  EXPECT_NE(out.find("||| ||||"), std::string::npos);
+}
+
+TEST(Render, GapShowsDash) {
+  const auto a = codes_of("AATT");
+  const auto b = codes_of("AACTT");
+  const std::vector<AlignOp> ops = {AlignOp::kMatch, AlignOp::kMatch,
+                                    AlignOp::kGapInSeq1, AlignOp::kMatch,
+                                    AlignOp::kMatch};
+  const std::string out = render_alignment(a, 0, 0, b, 0, 0, ops);
+  EXPECT_NE(out.find("AA-TT"), std::string::npos);
+  EXPECT_NE(out.find("AACTT"), std::string::npos);
+}
+
+TEST(Render, WrapsLongAlignments) {
+  simulate::Rng rng(411);
+  const auto a = simulate::random_codes(rng, 150);
+  const auto ops = ops_for(a, a);
+  DisplayOptions opt;
+  opt.width = 60;
+  const std::string out = render_alignment(a, 0, 0, a, 0, 0, ops, opt);
+  // 150 columns at width 60 -> 3 blocks; block 2 starts at 61.
+  EXPECT_NE(out.find(" 61\t"), std::string::npos);
+  EXPECT_NE(out.find(" 121\t"), std::string::npos);
+  EXPECT_NE(out.find("\t150"), std::string::npos);
+}
+
+TEST(Render, LocalStartOffsetsRespected) {
+  const auto a = codes_of("ACGT");
+  const std::vector<AlignOp> ops(4, AlignOp::kMatch);
+  const std::string out = render_alignment(a, 0, 99, a, 0, 499, ops);
+  EXPECT_NE(out.find(" 100\t"), std::string::npos);  // query starts at 100
+  EXPECT_NE(out.find(" 500\t"), std::string::npos);  // subject at 500
+}
+
+TEST(Render, StatsAgreeWithRenderedBars) {
+  // The number of '|' bars equals stats.matches.
+  simulate::Rng rng(413);
+  const auto a = simulate::random_codes(rng, 120);
+  const auto b = simulate::mutate(
+      rng, a, simulate::MutationModel::with_divergence(0.06));
+  std::vector<AlignOp> ops;
+  std::int32_t score = 0;
+  const auto stats = banded_global_stats(
+      a, 0, static_cast<seqio::Pos>(a.size()), b, 0,
+      static_cast<seqio::Pos>(b.size()), ScoringParams{}, &score, &ops);
+  const std::string out = render_alignment(a, 0, 0, b, 0, 0, ops);
+  const auto bars = static_cast<std::uint32_t>(
+      std::count(out.begin(), out.end(), '|'));
+  EXPECT_EQ(bars, stats.matches);
+}
+
+}  // namespace
+}  // namespace scoris::align

@@ -1,0 +1,168 @@
+// Tests for src/filter: DUST-style masking and the mask bitmap.
+#include <gtest/gtest.h>
+
+#include "filter/dust.hpp"
+#include "filter/mask.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace scoris::filter {
+namespace {
+
+using scoris::testing::codes_of;
+
+// --- MaskBitmap ---------------------------------------------------------------
+
+TEST(MaskBitmap, SetAndTest) {
+  MaskBitmap m(200);
+  EXPECT_FALSE(m.test(0));
+  m.set(0);
+  m.set(63);
+  m.set(64);
+  m.set(199);
+  EXPECT_TRUE(m.test(0));
+  EXPECT_TRUE(m.test(63));
+  EXPECT_TRUE(m.test(64));
+  EXPECT_TRUE(m.test(199));
+  EXPECT_FALSE(m.test(100));
+  EXPECT_EQ(m.count(), 4u);
+}
+
+TEST(MaskBitmap, SetRangeAndAnyIn) {
+  MaskBitmap m(100);
+  m.set_range(10, 20);
+  EXPECT_TRUE(m.any_in(15, 3));
+  EXPECT_TRUE(m.any_in(5, 6));    // touches position 10
+  EXPECT_FALSE(m.any_in(0, 10));  // [0,10) excludes 10
+  EXPECT_FALSE(m.any_in(20, 10));
+  EXPECT_EQ(m.count(), 10u);
+}
+
+TEST(MaskBitmap, RangeClampsAtEnd) {
+  MaskBitmap m(32);
+  m.set_range(30, 100);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_FALSE(m.any_in(100, 5));  // beyond the bitmap
+}
+
+TEST(MaskBitmap, EmptyBitmap) {
+  MaskBitmap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.count(), 0u);
+}
+
+// --- DUST ----------------------------------------------------------------------
+
+TEST(Dust, MasksHomopolymer) {
+  simulate::Rng rng(3);
+  auto seq = simulate::random_codes(rng, 100);
+  seq.append(scoris::testing::CodeStr(80, seqio::kA));  // poly-A
+  seq += simulate::random_codes(rng, 100);
+  const auto intervals = dust_intervals(seq);
+  ASSERT_FALSE(intervals.empty());
+  // The poly-A run [100, 180) must be inside the union of intervals.
+  bool covered_mid = false;
+  for (const auto& iv : intervals) {
+    if (iv.begin <= 120 && iv.end >= 160) covered_mid = true;
+  }
+  EXPECT_TRUE(covered_mid);
+}
+
+TEST(Dust, MasksDinucleotideRepeat) {
+  simulate::Rng rng(5);
+  auto seq = simulate::random_codes(rng, 120);
+  simulate::Rng motif_rng = rng.fork(1);
+  seq += simulate::low_complexity_codes(motif_rng, 90, 2);
+  seq += simulate::random_codes(rng, 120);
+  const auto intervals = dust_intervals(seq);
+  bool hit = false;
+  for (const auto& iv : intervals) {
+    if (iv.begin < 210 && iv.end > 120) hit = true;
+  }
+  EXPECT_TRUE(hit);
+}
+
+TEST(Dust, LeavesRandomSequenceMostlyUnmasked) {
+  simulate::Rng rng(7);
+  const auto seq = simulate::random_codes(rng, 20000);
+  const auto intervals = dust_intervals(seq);
+  std::size_t masked = 0;
+  for (const auto& iv : intervals) masked += iv.end - iv.begin;
+  // Random DNA rarely triggers DUST; allow a small false-positive rate.
+  EXPECT_LT(masked, seq.size() / 20);
+}
+
+TEST(Dust, ShortInputProducesNothing) {
+  const auto seq = codes_of("ACG");
+  EXPECT_TRUE(dust_intervals(seq).empty());
+}
+
+TEST(Dust, IntervalsAreMergedAndOrdered) {
+  simulate::Rng rng(11);
+  auto seq = scoris::testing::CodeStr(300, seqio::kA);  // all low complexity
+  const auto intervals = dust_intervals(seq);
+  ASSERT_EQ(intervals.size(), 1u);  // windows merge into one interval
+  EXPECT_EQ(intervals[0].begin, 0u);
+  EXPECT_EQ(intervals[0].end, 300u);
+  (void)rng;
+}
+
+TEST(Dust, AmbiguousBasesBreakTriplets) {
+  // Poly-A interrupted by N every 2 bases has no valid triplet at all.
+  scoris::testing::CodeStr seq;
+  for (int i = 0; i < 100; ++i) {
+    seq.push_back(seqio::kA);
+    seq.push_back(seqio::kA);
+    seq.push_back(seqio::kAmbiguous);
+  }
+  EXPECT_TRUE(dust_intervals(seq).empty());
+}
+
+TEST(Dust, LevelControlsAggressiveness) {
+  simulate::Rng rng(13);
+  auto seq = simulate::random_codes(rng, 500);
+  seq += simulate::low_complexity_codes(rng, 60, 3);
+  seq += simulate::random_codes(rng, 500);
+  DustParams lenient;
+  lenient.level = 100;
+  DustParams strict;
+  strict.level = 5;
+  std::size_t masked_lenient = 0, masked_strict = 0;
+  for (const auto& iv : dust_intervals(seq, lenient)) {
+    masked_lenient += iv.end - iv.begin;
+  }
+  for (const auto& iv : dust_intervals(seq, strict)) {
+    masked_strict += iv.end - iv.begin;
+  }
+  EXPECT_LE(masked_lenient, masked_strict);
+}
+
+TEST(Dust, BankMaskUsesGlobalPositions) {
+  seqio::SequenceBank bank;
+  bank.add("clean", "ACGTGCATCGATCGTAGCTAGCATCGATCGAT");
+  bank.add("polyA", std::string(100, 'A'));
+  const MaskBitmap mask = dust_mask(bank);
+  EXPECT_EQ(mask.size(), bank.data_size());
+  // All masked positions must fall inside the poly-A sequence.
+  const auto off = bank.offset(1);
+  for (std::size_t p = 0; p < bank.data_size(); ++p) {
+    if (mask.test(p)) {
+      EXPECT_GE(p, off);
+      EXPECT_LT(p, off + bank.length(1));
+    }
+  }
+  EXPECT_GT(mask.count(), 50u);
+}
+
+TEST(Dust, MaskedFraction) {
+  seqio::SequenceBank bank;
+  bank.add("polyT", std::string(200, 'T'));
+  const MaskBitmap mask = dust_mask(bank);
+  EXPECT_GT(masked_fraction(bank, mask), 0.9);
+  seqio::SequenceBank empty;
+  EXPECT_EQ(masked_fraction(empty, MaskBitmap{}), 0.0);
+}
+
+}  // namespace
+}  // namespace scoris::filter

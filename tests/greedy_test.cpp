@@ -1,0 +1,121 @@
+// Tests for the greedy (megablast-style) gapped extension.
+#include <gtest/gtest.h>
+
+#include "align/classic.hpp"
+#include "align/gapped.hpp"
+#include "align/greedy.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/mutate.hpp"
+#include "simulate/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace scoris::align {
+namespace {
+
+using scoris::testing::codes_of;
+
+TEST(Greedy, IdenticalSequencesFullSpan) {
+  const auto a = codes_of("ACGTACGTACGTACGTACGTACGT");
+  const auto g = greedy_extend(a, a, 12, 12, ScoringParams{});
+  EXPECT_EQ(g.s1, 0u);
+  EXPECT_EQ(g.e1, a.size());
+  EXPECT_EQ(g.score, static_cast<int>(a.size()));
+  EXPECT_EQ(g.differences, 0u);
+}
+
+TEST(Greedy, CrossesSingleMismatch) {
+  simulate::Rng rng(801);
+  auto a = simulate::random_codes(rng, 60);
+  auto b = a;
+  b[15] = static_cast<seqio::Code>((b[15] + 1) & 3);
+  const auto g = greedy_extend(a, b, 40, 40, ScoringParams{});
+  EXPECT_EQ(g.s1, 0u);
+  EXPECT_EQ(g.e1, a.size());
+  EXPECT_EQ(g.differences, 1u);
+  const ScoringParams p;
+  EXPECT_EQ(g.score, static_cast<int>(a.size()) - 1 - p.mismatch);
+}
+
+TEST(Greedy, CrossesSingleInsertion) {
+  simulate::Rng rng(803);
+  const auto left = simulate::random_codes(rng, 40);
+  const auto right = simulate::random_codes(rng, 40);
+  const auto ins = simulate::random_codes(rng, 1);
+  const scoris::testing::CodeStr a = left + right;
+  const scoris::testing::CodeStr b = left + ins + right;
+  const auto g = greedy_extend(a, b, 10, 10, ScoringParams{});
+  EXPECT_EQ(g.e1, a.size());
+  EXPECT_EQ(g.e2, b.size());
+  EXPECT_EQ(g.s1, 0u);
+  EXPECT_GE(g.differences, 1u);
+}
+
+TEST(Greedy, StopsAtSentinel) {
+  auto a = codes_of("ACGTACGTACGT");
+  a.push_back(seqio::kSentinel);
+  const auto tail = codes_of("ACGTACGTACGT");
+  a.insert(a.end(), tail.begin(), tail.end());
+  const auto g = greedy_extend(a, a, 2, 2, ScoringParams{});
+  EXPECT_LE(g.e1, 12u);
+}
+
+TEST(Greedy, StopsInDivergedFlanks) {
+  simulate::Rng rng(807);
+  const auto shared = simulate::random_codes(rng, 80);
+  const auto f1 = simulate::random_codes(rng, 60);
+  const auto f2 = simulate::random_codes(rng, 60);
+  const auto f3 = simulate::random_codes(rng, 60);
+  const auto f4 = simulate::random_codes(rng, 60);
+  const scoris::testing::CodeStr a = f1 + shared + f2;
+  const scoris::testing::CodeStr b = f3 + shared + f4;
+  const auto g = greedy_extend(a, b, 100, 100, ScoringParams{});
+  // The extension covers the shared block but not much of the noise.
+  EXPECT_LE(g.s1, 62u);
+  EXPECT_GE(g.e1, 138u);
+  EXPECT_LE(60u - std::min<std::size_t>(60, g.s1), 15u);
+}
+
+class GreedyVsDp : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyVsDp, CloseToDpOnHighIdentity) {
+  // On 1-3% divergence the greedy score model and the affine DP agree
+  // closely; greedy never beats the Gotoh local optimum by more than the
+  // gap-model difference.
+  simulate::Rng rng(static_cast<std::uint64_t>(GetParam()) * 733);
+  const auto a = simulate::random_codes(rng, 300);
+  const double div = 0.01 + 0.01 * (GetParam() % 3);
+  const auto b =
+      simulate::mutate(rng, a, simulate::MutationModel::with_divergence(div));
+  const ScoringParams p;
+  const auto g = greedy_extend(a, b, static_cast<seqio::Pos>(a.size() / 2),
+                               static_cast<seqio::Pos>(b.size() / 2), p);
+  const auto dp = extend_gapped(a, b, static_cast<seqio::Pos>(a.size() / 2),
+                                static_cast<seqio::Pos>(b.size() / 2), p);
+  // Same ballpark coverage and score.
+  EXPECT_GT(g.e1 - g.s1, (dp.e1 - dp.s1) * 8 / 10) << GetParam();
+  EXPECT_GT(g.score, dp.score * 8 / 10) << GetParam();
+  // Greedy's per-difference gap cost (p + r/2) is cheaper than the affine
+  // open cost for a first gap column but has no honest upper relation to
+  // the DP; sanity-bound it by the perfect-match score.
+  EXPECT_LE(g.score, static_cast<int>(std::max(a.size(), b.size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsDp, ::testing::Range(1, 13));
+
+TEST(Greedy, EmptySidesSafe) {
+  const auto a = codes_of("ACGT");
+  const auto g = greedy_extend(a, a, 0, 0, ScoringParams{});
+  EXPECT_EQ(g.s1, 0u);
+  EXPECT_EQ(g.e1, a.size());
+}
+
+TEST(Greedy, MaxExtentRespected) {
+  simulate::Rng rng(809);
+  const auto a = simulate::random_codes(rng, 2000);
+  const auto g = greedy_extend(a, a, 1000, 1000, ScoringParams{}, 64);
+  EXPECT_LE(1000 - g.s1, 64u);
+  EXPECT_LE(g.e1 - 1000, 64u);
+}
+
+}  // namespace
+}  // namespace scoris::align

@@ -1,0 +1,219 @@
+// Tests for src/seqio: nucleotide codes, SequenceBank, FASTA I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seqio/fasta.hpp"
+#include "seqio/nucleotide.hpp"
+#include "seqio/sequence_bank.hpp"
+
+namespace scoris::seqio {
+namespace {
+
+// --- nucleotide codes -------------------------------------------------------
+
+TEST(Nucleotide, PaperCodeTable) {
+  // Paper section 2.1: A->00, C->01, G->11, T->10.
+  EXPECT_EQ(encode_base('A'), 0);
+  EXPECT_EQ(encode_base('C'), 1);
+  EXPECT_EQ(encode_base('T'), 2);
+  EXPECT_EQ(encode_base('G'), 3);
+}
+
+TEST(Nucleotide, InducedOrderIsACTG) {
+  // The seed order everything relies on: A < C < T < G.
+  EXPECT_LT(encode_base('A'), encode_base('C'));
+  EXPECT_LT(encode_base('C'), encode_base('T'));
+  EXPECT_LT(encode_base('T'), encode_base('G'));
+}
+
+TEST(Nucleotide, CaseInsensitive) {
+  EXPECT_EQ(encode_base('a'), encode_base('A'));
+  EXPECT_EQ(encode_base('g'), encode_base('G'));
+}
+
+TEST(Nucleotide, AmbiguityCharacters) {
+  for (const char c : {'N', 'R', 'Y', 'X', '-', '*'}) {
+    EXPECT_EQ(encode_base(c), kAmbiguous) << c;
+  }
+}
+
+TEST(Nucleotide, DecodeRoundTrip) {
+  const std::string bases = "ACGTACGT";
+  const auto codes = encode(bases);
+  EXPECT_EQ(decode(codes), bases);
+}
+
+TEST(Nucleotide, DecodeMarkers) {
+  EXPECT_EQ(decode_base(kAmbiguous), 'N');
+  EXPECT_EQ(decode_base(kSentinel), '#');
+}
+
+TEST(Nucleotide, ComplementPairs) {
+  EXPECT_EQ(complement(kA), kT);
+  EXPECT_EQ(complement(kT), kA);
+  EXPECT_EQ(complement(kC), kG);
+  EXPECT_EQ(complement(kG), kC);
+  EXPECT_EQ(complement(kAmbiguous), kAmbiguous);
+}
+
+TEST(Nucleotide, IsBase) {
+  EXPECT_TRUE(is_base(kA));
+  EXPECT_TRUE(is_base(kG));
+  EXPECT_FALSE(is_base(kAmbiguous));
+  EXPECT_FALSE(is_base(kSentinel));
+}
+
+// --- SequenceBank -----------------------------------------------------------
+
+TEST(SequenceBank, AddAndAccess) {
+  SequenceBank bank("test");
+  const auto id0 = bank.add("s0", "ACGT");
+  const auto id1 = bank.add("s1", "GGCC");
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.total_bases(), 8u);
+  EXPECT_EQ(bank.seq_name(0), "s0");
+  EXPECT_EQ(bank.length(1), 4u);
+  EXPECT_EQ(bank.bases(0), "ACGT");
+  EXPECT_EQ(bank.bases(1), "GGCC");
+}
+
+TEST(SequenceBank, SentinelLayout) {
+  SequenceBank bank;
+  bank.add("a", "AC");
+  bank.add("b", "GT");
+  const auto data = bank.data();
+  // Layout: # A C # G T #
+  ASSERT_EQ(data.size(), 7u);
+  EXPECT_EQ(data[0], kSentinel);
+  EXPECT_EQ(data[3], kSentinel);
+  EXPECT_EQ(data[6], kSentinel);
+  EXPECT_EQ(bank.offset(0), 1u);
+  EXPECT_EQ(bank.offset(1), 4u);
+}
+
+TEST(SequenceBank, SeqOfPosAndPosInSeq) {
+  SequenceBank bank;
+  bank.add("a", "ACGTA");
+  bank.add("b", "GG");
+  bank.add("c", "TTTT");
+  EXPECT_EQ(bank.seq_of_pos(bank.offset(0)), 0u);
+  EXPECT_EQ(bank.seq_of_pos(bank.offset(0) + 4), 0u);
+  EXPECT_EQ(bank.seq_of_pos(bank.offset(1)), 1u);
+  EXPECT_EQ(bank.seq_of_pos(bank.offset(2) + 3), 2u);
+  EXPECT_EQ(bank.pos_in_seq(bank.offset(2) + 3), 3u);
+}
+
+TEST(SequenceBank, AmbiguousBasesPreserved) {
+  SequenceBank bank;
+  bank.add("a", "ACNNGT");
+  EXPECT_EQ(bank.bases(0), "ACNNGT");
+  EXPECT_EQ(bank.stats().ambiguous_bases, 2u);
+}
+
+TEST(SequenceBank, EmptySequenceAllowed) {
+  SequenceBank bank;
+  bank.add("empty", "");
+  bank.add("full", "ACGT");
+  EXPECT_EQ(bank.length(0), 0u);
+  EXPECT_EQ(bank.bases(1), "ACGT");
+}
+
+TEST(SequenceBank, StatsComputation) {
+  SequenceBank bank;
+  bank.add("a", "AAAA");  // 0 GC
+  bank.add("b", "GGCC");  // 4 GC
+  const auto st = bank.stats();
+  EXPECT_EQ(st.num_sequences, 2u);
+  EXPECT_EQ(st.total_bases, 8u);
+  EXPECT_EQ(st.min_length, 4u);
+  EXPECT_EQ(st.max_length, 4u);
+  EXPECT_DOUBLE_EQ(st.mean_length, 4.0);
+  EXPECT_DOUBLE_EQ(st.gc_fraction, 0.5);
+}
+
+TEST(SequenceBank, InvalidCodeRejected) {
+  SequenceBank bank;
+  const Code bad[] = {0, 1, 77};
+  EXPECT_THROW(bank.add_codes("x", bad), std::invalid_argument);
+}
+
+TEST(SequenceBank, MemoryBytesNonZero) {
+  SequenceBank bank;
+  bank.add("a", "ACGTACGTACGT");
+  EXPECT_GT(bank.memory_bytes(), 12u);
+}
+
+// --- FASTA ------------------------------------------------------------------
+
+TEST(Fasta, ParseBasic) {
+  const auto bank = read_fasta_string(">seq1 description here\nACGT\nACGT\n"
+                                      ">seq2\nGGGG\n");
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.seq_name(0), "seq1");
+  EXPECT_EQ(bank.bases(0), "ACGTACGT");
+  EXPECT_EQ(bank.seq_name(1), "seq2");
+  EXPECT_EQ(bank.bases(1), "GGGG");
+}
+
+TEST(Fasta, SkipsBlankAndCommentLines) {
+  const auto bank = read_fasta_string(";comment\n>s\n\nAC\n\nGT\n");
+  ASSERT_EQ(bank.size(), 1u);
+  EXPECT_EQ(bank.bases(0), "ACGT");
+}
+
+TEST(Fasta, LowercaseAndWhitespaceInSequence) {
+  const auto bank = read_fasta_string(">s\nac gt\n");
+  EXPECT_EQ(bank.bases(0), "ACGT");
+}
+
+TEST(Fasta, DataBeforeHeaderThrows) {
+  EXPECT_THROW(read_fasta_string("ACGT\n"), std::runtime_error);
+}
+
+TEST(Fasta, EmptyRecordKept) {
+  const auto bank = read_fasta_string(">a\n>b\nAC\n");
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.length(0), 0u);
+  EXPECT_EQ(bank.bases(1), "AC");
+}
+
+TEST(Fasta, MissingTrailingNewline) {
+  const auto bank = read_fasta_string(">s\nACGT");
+  ASSERT_EQ(bank.size(), 1u);
+  EXPECT_EQ(bank.bases(0), "ACGT");
+}
+
+TEST(Fasta, RoundTripThroughWriter) {
+  SequenceBank bank("rt");
+  bank.add("alpha", "ACGTACGTACGTACGTACGT");
+  bank.add("beta", "TTTTGGGG");
+  std::ostringstream ss;
+  write_fasta(ss, bank, 7);  // deliberately awkward wrap width
+  const auto back = read_fasta_string(ss.str());
+  ASSERT_EQ(back.size(), bank.size());
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_EQ(back.seq_name(i), bank.seq_name(i));
+    EXPECT_EQ(back.bases(i), bank.bases(i));
+  }
+}
+
+TEST(Fasta, FileRoundTrip) {
+  SequenceBank bank("file_rt");
+  bank.add("x", "ACGTNNACGT");
+  const std::string path = testing::TempDir() + "/scoris_fasta_rt.fa";
+  write_fasta_file(path, bank);
+  const auto back = read_fasta_file(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.bases(0), "ACGTNNACGT");
+  EXPECT_EQ(back.name(), "scoris_fasta_rt");
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/nope.fa"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scoris::seqio

@@ -1,0 +1,146 @@
+// Tests for src/stats: Karlin–Altschul parameter solving and e-values.
+//
+// Reference values for lambda/K come from the NCBI BLAST source
+// (blast_stat.c precomputed tables for blastn match/mismatch scoring).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/karlin.hpp"
+
+namespace scoris::stats {
+namespace {
+
+TEST(Karlin, LambdaSatisfiesDefiningEquation) {
+  const auto d = match_mismatch_distribution(1, 3);
+  const auto p = solve_karlin(d);
+  // sum p(s) e^{lambda s} == 1 at the solution.
+  double v = 0.0;
+  for (int s = d.low; s <= d.high; ++s) {
+    v += d.prob[static_cast<std::size_t>(s - d.low)] * std::exp(p.lambda * s);
+  }
+  EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Karlin, Plus1Minus3MatchesNcbiTable) {
+  // NCBI blastn +1/-3 (ungapped): lambda = 1.374, K = 0.711, H = 1.31.
+  const auto p = karlin_match_mismatch(1, 3);
+  EXPECT_NEAR(p.lambda, 1.374, 5e-3);
+  EXPECT_NEAR(p.k, 0.711, 2e-2);
+  EXPECT_NEAR(p.h, 1.31, 2e-2);
+}
+
+TEST(Karlin, Plus1Minus2MatchesNcbiTable) {
+  // NCBI blastn +1/-2 (ungapped): lambda = 1.33, K = 0.62, H = 1.12.
+  const auto p = karlin_match_mismatch(1, 2);
+  EXPECT_NEAR(p.lambda, 1.33, 1e-2);
+  EXPECT_NEAR(p.k, 0.62, 2e-2);
+  EXPECT_NEAR(p.h, 1.12, 2e-2);
+}
+
+TEST(Karlin, Plus2Minus3MatchesNcbiTable) {
+  // NCBI blastn +2/-3 (ungapped): lambda = 0.624, K = 0.41, H = 0.72.
+  const auto p = karlin_match_mismatch(2, 3);
+  EXPECT_NEAR(p.lambda, 0.624, 1e-2);
+  EXPECT_NEAR(p.k, 0.41, 4e-2);
+}
+
+TEST(Karlin, ValidFlag) {
+  EXPECT_TRUE(karlin_match_mismatch(1, 3).valid());
+  EXPECT_FALSE(KarlinParams{}.valid());
+}
+
+TEST(Karlin, RejectsNonNegativeDrift) {
+  // match 3 / mismatch 1 with uniform composition has positive mean score.
+  EXPECT_THROW((void)karlin_match_mismatch(3, 1), std::invalid_argument);
+}
+
+TEST(Karlin, RejectsBadArguments) {
+  EXPECT_THROW(match_mismatch_distribution(0, 3), std::invalid_argument);
+  EXPECT_THROW(match_mismatch_distribution(1, 0), std::invalid_argument);
+  EXPECT_THROW(match_mismatch_distribution(1, 3, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Karlin, SkewedCompositionShiftsLambda) {
+  // Higher match probability (skewed composition) -> smaller lambda.
+  const auto uniform = solve_karlin(match_mismatch_distribution(1, 3));
+  const auto skewed = solve_karlin(
+      match_mismatch_distribution(1, 3, {0.4, 0.1, 0.1, 0.4}));
+  EXPECT_LT(skewed.lambda, uniform.lambda);
+}
+
+TEST(Karlin, GcdHandledForEvenScores) {
+  // +2/-4 is +1/-2 doubled: lambda halves, K must stay equal.
+  const auto base = karlin_match_mismatch(1, 2);
+  const auto doubled = karlin_match_mismatch(2, 4);
+  EXPECT_NEAR(doubled.lambda, base.lambda / 2.0, 1e-6);
+  EXPECT_NEAR(doubled.k, base.k, 1e-6);
+}
+
+TEST(Evalue, DecreasesExponentiallyInScore) {
+  const auto p = karlin_match_mismatch(1, 3);
+  const double e30 = evalue(p, 30, 1e6, 1e3);
+  const double e40 = evalue(p, 40, 1e6, 1e3);
+  EXPECT_GT(e30, e40);
+  EXPECT_NEAR(e30 / e40, std::exp(p.lambda * 10), 1e-6);
+}
+
+TEST(Evalue, ScalesLinearlyWithSearchSpace) {
+  const auto p = karlin_match_mismatch(1, 3);
+  EXPECT_NEAR(evalue(p, 35, 2e6, 1e3) / evalue(p, 35, 1e6, 1e3), 2.0, 1e-9);
+  EXPECT_NEAR(evalue(p, 35, 1e6, 4e3) / evalue(p, 35, 1e6, 1e3), 4.0, 1e-9);
+}
+
+TEST(Evalue, BitScoreConsistentWithEvalue) {
+  const auto p = karlin_match_mismatch(1, 3);
+  const double raw = 42;
+  const double bits = bit_score(p, raw);
+  // E = m n 2^{-bits}
+  const double m = 5e5, n = 2e3;
+  EXPECT_NEAR(evalue(p, raw, m, n), m * n * std::pow(2.0, -bits), 1e-9);
+}
+
+TEST(Evalue, MinScoreForEvalueIsTight) {
+  const auto p = karlin_match_mismatch(1, 3);
+  const double m = 1e6, n = 1e4, cutoff = 1e-3;
+  const int s = min_score_for_evalue(p, m, n, cutoff);
+  EXPECT_LE(evalue(p, s, m, n), cutoff);
+  EXPECT_GT(evalue(p, s - 1, m, n), cutoff);
+}
+
+TEST(Evalue, ExpectedHspLengthReasonable) {
+  const auto p = karlin_match_mismatch(1, 3);
+  const double len = expected_hsp_length(p, 1e6, 1e6);
+  EXPECT_GT(len, 10.0);
+  EXPECT_LT(len, 100.0);
+  // Degenerate spaces return 0 (negative or out-of-range length).
+  EXPECT_EQ(expected_hsp_length(p, 0, 1e6), 0.0);
+  EXPECT_EQ(expected_hsp_length(p, 1, 1), 0.0);
+}
+
+class KarlinSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(KarlinSweep, ParametersAreFiniteAndOrdered) {
+  const auto [match, mismatch] = GetParam();
+  const auto p = karlin_match_mismatch(match, mismatch);
+  EXPECT_TRUE(p.valid()) << match << "/" << mismatch;
+  EXPECT_GT(p.lambda, 0.0);
+  EXPECT_LT(p.lambda, 3.0);
+  EXPECT_GT(p.k, 0.0);
+  EXPECT_LE(p.k, 1.0);
+  EXPECT_GT(p.h, 0.0);
+  // lambda bounded above by ln(4)/match extreme (perfect-match limit
+  // 2 bits/base): lambda*match <= 2 ln 2 + margin.
+  EXPECT_LT(p.lambda * match, 2.0 * std::log(2.0) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MatchMismatchGrid, KarlinSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 2}, std::pair{1, 3},
+                      std::pair{1, 4}, std::pair{1, 5}, std::pair{2, 3},
+                      std::pair{2, 5}, std::pair{2, 7}, std::pair{3, 4},
+                      std::pair{4, 5}, std::pair{5, 4}));
+
+}  // namespace
+}  // namespace scoris::stats
