@@ -1,0 +1,282 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "compare/m8.hpp"
+#include "core/pipeline.hpp"
+#include "seqio/fasta.hpp"
+#include "seqio/sequence_bank.hpp"
+#include "seqio/serialize.hpp"
+#include "seqio/strand.hpp"
+#include "util/argparse.hpp"
+
+namespace scoris::cli {
+
+namespace {
+
+constexpr const char* kVersion = "scoris 0.1.0 (SCORIS-N, Lavenier'08 ORIS)";
+
+/// Flags the driver understands; anything else is a usage error.
+const std::vector<std::string>& known_flags() {
+  static const std::vector<std::string> kKnown = {
+      "bank1",   "bank2",      "out",   "w",       "threads",
+      "strand",  "evalue",     "dust",  "no-dust", "asymmetric",
+      "s1",      "stats",      "help",  "version",
+  };
+  return kKnown;
+}
+
+/// Load a bank from FASTA, or from the binary .scob format when the path
+/// ends in ".scob".
+seqio::SequenceBank load_bank(const std::string& path) {
+  if (path.size() > 5 && path.compare(path.size() - 5, 5, ".scob") == 0) {
+    return seqio::load_bank_file(path);
+  }
+  return seqio::read_fasta_file(path);
+}
+
+/// Strict numeric flag parsing: Args::get_int/get_double silently fall back
+/// on unparsable text, which would let a typo like `--evalue 1e-3x` run with
+/// the default. Reject instead, and range-check before narrowing so huge
+/// values cannot wrap into the valid range.
+bool parse_int_flag(const util::Args& args, const std::string& name,
+                    std::int64_t lo, std::int64_t hi, int& value,
+                    std::ostream& err) {
+  if (!args.has(name)) return true;
+  const std::optional<std::int64_t> v = args.get_int_strict(name);
+  if (!v) {
+    err << "error: --" << name << " expects an integer, got '"
+        << args.get(name) << "'\n";
+    return false;
+  }
+  if (*v < lo || *v > hi) {
+    err << "error: --" << name << " must be in [" << lo << ", " << hi
+        << "], got " << *v << '\n';
+    return false;
+  }
+  value = static_cast<int>(*v);
+  return true;
+}
+
+bool parse_double_flag(const util::Args& args, const std::string& name,
+                       double& value, std::ostream& err) {
+  if (!args.has(name)) return true;
+  const std::optional<double> v = args.get_double_strict(name);
+  if (!v) {
+    err << "error: --" << name << " expects a number, got '" << args.get(name)
+        << "'\n";
+    return false;
+  }
+  value = *v;
+  return true;
+}
+
+/// Args greedily binds `--flag token` even for boolean flags, so
+/// `scoris --stats a.fa b.fa` would silently swallow `a.fa`. Catch any
+/// value that is not a boolean spelling and say what happened.
+bool check_boolean_flag(const util::Args& args, const std::string& name,
+                        std::ostream& err) {
+  if (!args.has(name)) return true;
+  const std::string raw = args.get(name);
+  if (raw == "true" || raw == "false" || raw == "1" || raw == "0" ||
+      raw == "yes" || raw == "no") {
+    return true;
+  }
+  err << "error: --" << name << " does not take a value (got '" << raw
+      << "'); place boolean flags after the banks or write --" << name
+      << "=true\n";
+  return false;
+}
+
+}  // namespace
+
+void print_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program
+     << " --bank1 <a.fa> --bank2 <b.fa> [options]\n"
+     << "       " << program << " <a.fa> <b.fa> [options]\n"
+     << "\n"
+     << "Compare two DNA banks with the ORIS pipeline and write BLAST -m 8\n"
+     << "tabular output. Banks are FASTA files (or binary .scob banks).\n"
+     << "\n"
+     << "options:\n"
+     << "  --bank1 FILE    query-side bank (m8 qseqid column)\n"
+     << "  --bank2 FILE    subject-side bank (m8 sseqid column)\n"
+     << "  --out FILE      write m8 output to FILE (default: stdout)\n"
+     << "  --w N           seed length, 4..14 (default 11)\n"
+     << "  --threads N     worker threads for steps 2-3 (default 1)\n"
+     << "  --strand S      plus (default, paper's -S 1), minus, or both\n"
+     << "  --evalue E      e-value cutoff (default 1e-3)\n"
+     << "  --dust BOOL     low-complexity filter (default true)\n"
+     << "  --no-dust       shorthand for --dust false\n"
+     << "  --asymmetric    10-nt words, stride-2 index on bank2\n"
+     << "  --s1 SCORE      minimum HSP raw score (default 25)\n"
+     << "  --stats         print per-step statistics to stderr\n"
+     << "  --help          show this message and exit\n"
+     << "  --version       show version and exit\n";
+}
+
+bool parse_cli(int argc, const char* const* argv, CliConfig& config,
+               std::ostream& err) {
+  const util::Args args = util::Args::parse(argc, argv);
+
+  for (const std::string& name : args.flag_names()) {
+    const auto& known = known_flags();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      err << "error: unknown flag --" << name << '\n';
+      return false;
+    }
+  }
+
+  for (const char* name : {"stats", "asymmetric", "dust", "no-dust", "help",
+                           "version"}) {
+    if (!check_boolean_flag(args, name, err)) return false;
+  }
+
+  config.help = args.get_flag("help");
+  config.version = args.get_flag("version");
+  if (config.help || config.version) return true;
+
+  config.bank1_path = args.get("bank1");
+  config.bank2_path = args.get("bank2");
+  const auto& positional = args.positional();
+  if (!positional.empty()) {
+    if (!config.bank1_path.empty() || !config.bank2_path.empty()) {
+      err << "error: unexpected positional argument '" << positional[0]
+          << "' (banks already given via --bank1/--bank2)\n";
+      return false;
+    }
+    if (positional.size() != 2) {
+      err << "error: expected exactly two positional banks, got "
+          << positional.size() << '\n';
+      return false;
+    }
+    config.bank1_path = positional[0];
+    config.bank2_path = positional[1];
+  }
+  if (config.bank1_path.empty() || config.bank2_path.empty()) {
+    err << "error: both --bank1 and --bank2 are required\n";
+    return false;
+  }
+
+  config.out_path = args.get("out");
+  if (!parse_int_flag(args, "w", 4, 14, config.w, err)) return false;
+  if (!parse_int_flag(args, "threads", 1, 1024, config.threads, err)) {
+    return false;
+  }
+  if (!parse_int_flag(args, "s1", 0, 1000000000, config.min_hsp_score, err)) {
+    return false;
+  }
+  if (!parse_double_flag(args, "evalue", config.max_evalue, err)) return false;
+  if (!(config.max_evalue > 0.0)) {
+    err << "error: --evalue must be positive, got " << args.get("evalue")
+        << '\n';
+    return false;
+  }
+
+  config.strand = args.get("strand", config.strand);
+  if (config.strand != "plus" && config.strand != "minus" &&
+      config.strand != "both") {
+    err << "error: --strand must be plus, minus or both, got '"
+        << config.strand << "'\n";
+    return false;
+  }
+
+  config.dust = args.get_flag("dust", true);
+  if (args.get_flag("no-dust")) config.dust = false;
+  config.asymmetric = args.get_flag("asymmetric");
+  config.stats = args.get_flag("stats");
+  return true;
+}
+
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  const std::string program = argc > 0 ? argv[0] : "scoris";
+
+  CliConfig config;
+  if (!parse_cli(argc, argv, config, err)) {
+    print_usage(err, program);
+    return kUsage;
+  }
+  if (config.help) {
+    print_usage(out, program);
+    return kOk;
+  }
+  if (config.version) {
+    out << kVersion << '\n';
+    return kOk;
+  }
+
+  seqio::SequenceBank bank1;
+  seqio::SequenceBank bank2;
+  try {
+    bank1 = load_bank(config.bank1_path);
+    bank2 = load_bank(config.bank2_path);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  core::Options options;
+  options.w = config.w;
+  options.threads = config.threads;
+  options.min_hsp_score = config.min_hsp_score;
+  options.max_evalue = config.max_evalue;
+  options.dust = config.dust;
+  options.asymmetric = config.asymmetric;
+  options.strand = config.strand == "minus"  ? seqio::Strand::kMinus
+                   : config.strand == "both" ? seqio::Strand::kBoth
+                                             : seqio::Strand::kPlus;
+
+  // Open the output sink before the (potentially long) pipeline run so an
+  // unwritable path fails fast instead of after all the compute.
+  std::ofstream out_file;
+  std::ostream* sink = &out;
+  if (!config.out_path.empty()) {
+    out_file.open(config.out_path);
+    if (!out_file) {
+      err << "error: cannot create " << config.out_path << '\n';
+      return kRuntimeError;
+    }
+    sink = &out_file;
+  }
+
+  const core::Pipeline pipeline(options);
+  core::Result result;
+  try {
+    result = pipeline.run(bank1, bank2);
+  } catch (const std::exception& e) {
+    err << "error: pipeline failed: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  core::write_result_m8(*sink, result, bank1, bank2);
+  sink->flush();
+  if (!*sink) {
+    err << "error: writing m8 output"
+        << (config.out_path.empty() ? "" : " to " + config.out_path)
+        << " failed\n";
+    return kRuntimeError;
+  }
+
+  if (config.stats) {
+    const core::PipelineStats& s = result.stats;
+    err << "scoris: " << result.alignments.size() << " alignments, "
+        << s.hit_pairs << " seed hits (" << s.order_aborts
+        << " order-aborted), " << s.hsps << " HSPs, " << s.masked_bases
+        << " DUST-masked bases\n"
+        << "  step1 " << s.index_seconds << "s, step2 " << s.hsp_seconds
+        << "s, step3 " << s.gapped_seconds << "s, total " << s.total_seconds
+        << "s\n";
+  }
+  return kOk;
+}
+
+}  // namespace scoris::cli

@@ -1,0 +1,52 @@
+// The `scoris` command-line driver.
+//
+// Wires util::Args -> FASTA/.scob loading -> core::Pipeline -> m8 output.
+// The whole driver lives in the library (not in main.cpp) so the test suite
+// can run it in-process with captured streams and asserted exit codes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace scoris::cli {
+
+/// Exit codes returned by run() (and hence by the `scoris` binary).
+enum ExitCode : int {
+  kOk = 0,            ///< pipeline ran, m8 written
+  kRuntimeError = 1,  ///< bank load, output write, or pipeline failure
+  kUsage = 2,         ///< bad / missing / unknown arguments (usage printed)
+};
+
+/// Everything the driver parsed from argv, exposed for tests.
+struct CliConfig {
+  std::string bank1_path;
+  std::string bank2_path;
+  std::string out_path;  ///< empty = stdout
+  int w = 11;
+  int threads = 1;
+  int min_hsp_score = 25;
+  double max_evalue = 1e-3;
+  std::string strand = "plus";  ///< plus | minus | both
+  bool dust = true;
+  bool asymmetric = false;
+  bool stats = false;
+  bool help = false;
+  bool version = false;
+};
+
+/// Parse argv into a CliConfig. On error, writes a one-line diagnostic to
+/// `err` and returns false. `--bank1/--bank2` may also be given as the two
+/// positional arguments.
+bool parse_cli(int argc, const char* const* argv, CliConfig& config,
+               std::ostream& err);
+
+/// Full driver: parse, load banks, run the pipeline, write m8 to `out`
+/// (or to config.out_path when given). Diagnostics and --stats go to `err`.
+/// Returns an ExitCode value.
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err);
+
+/// The usage text printed by --help and on usage errors.
+void print_usage(std::ostream& os, const std::string& program);
+
+}  // namespace scoris::cli

@@ -1,0 +1,9 @@
+// Entry point of the `scoris` binary. All logic lives in cli/cli.cpp so the
+// test suite can drive the driver in-process.
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return scoris::cli::run(argc, argv, std::cout, std::cerr);
+}

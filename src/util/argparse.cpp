@@ -1,5 +1,6 @@
 #include "util/argparse.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -54,6 +55,27 @@ double Args::get_double(const std::string& name, double fallback) const {
   return (end != nullptr && *end == '\0') ? v : fallback;
 }
 
+std::optional<std::int64_t> Args::get_int_strict(
+    const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<double> Args::get_double_strict(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
 bool Args::get_flag(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
@@ -63,6 +85,13 @@ bool Args::get_flag(const std::string& name, bool fallback) const {
 
 bool Args::has(const std::string& name) const {
   return flags_.count(name) != 0;
+}
+
+std::vector<std::string> Args::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
 }
 
 }  // namespace scoris::util

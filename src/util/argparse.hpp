@@ -32,6 +32,14 @@ class Args {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
 
+  /// Strict variants: nullopt when the flag is absent, its value does not
+  /// parse completely, or the value overflows. Callers that must reject
+  /// typos (rather than silently fall back) use these.
+  [[nodiscard]] std::optional<std::int64_t> get_int_strict(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<double> get_double_strict(
+      const std::string& name) const;
+
   /// True when the flag is present and not explicitly "false"/"0"/"no".
   [[nodiscard]] bool get_flag(const std::string& name,
                               bool fallback = false) const;
@@ -42,6 +50,10 @@ class Args {
     return positional_;
   }
   [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Names of every flag present (sorted; map order). Lets callers reject
+  /// flags outside a known set.
+  [[nodiscard]] std::vector<std::string> flag_names() const;
 
  private:
   std::string program_;

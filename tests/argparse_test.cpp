@@ -1,0 +1,125 @@
+// Edge-case coverage for util::Args flag parsing. util_test.cpp covers the
+// happy paths; these tests pin down the corner semantics the CLI relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/argparse.hpp"
+
+namespace {
+
+using scoris::util::Args;
+
+Args parse(std::vector<const char*> argv) {
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsEdge, EqualsSignInsideValueIsKept) {
+  const Args a = parse({"prog", "--expr=x=y"});
+  EXPECT_EQ(a.get("expr"), "x=y");
+}
+
+TEST(ArgsEdge, EmptyValueViaEquals) {
+  const Args a = parse({"prog", "--name="});
+  EXPECT_TRUE(a.has("name"));
+  EXPECT_EQ(a.get("name", "fallback"), "");
+  // An empty string is not one of the false spellings.
+  EXPECT_TRUE(a.get_flag("name"));
+}
+
+TEST(ArgsEdge, NegativeNumbersAreValuesNotFlags) {
+  const Args a = parse({"prog", "--delta", "-5", "--temp", "-1.5"});
+  EXPECT_EQ(a.get_int("delta", 0), -5);
+  EXPECT_DOUBLE_EQ(a.get_double("temp", 0.0), -1.5);
+}
+
+TEST(ArgsEdge, RepeatedFlagLastWins) {
+  const Args a = parse({"prog", "--w", "7", "--w", "11"});
+  EXPECT_EQ(a.get_int("w", 0), 11);
+}
+
+TEST(ArgsEdge, UnparsableNumbersFallBack) {
+  const Args a = parse({"prog", "--n", "abc", "--m", "12x", "--d", "0.5oops"});
+  EXPECT_EQ(a.get_int("n", 42), 42);
+  EXPECT_EQ(a.get_int("m", 42), 42);  // trailing garbage rejected
+  EXPECT_DOUBLE_EQ(a.get_double("d", 2.5), 2.5);
+}
+
+TEST(ArgsEdge, StrictGettersRejectGarbageAndOverflow) {
+  const Args a = parse({"prog", "--n", "12", "--bad", "12x", "--huge",
+                        "99999999999999999999", "--d", "1e-3", "--dbad",
+                        "1e-3x", "--empty="});
+  ASSERT_TRUE(a.get_int_strict("n").has_value());
+  EXPECT_EQ(*a.get_int_strict("n"), 12);
+  EXPECT_FALSE(a.get_int_strict("bad").has_value());
+  EXPECT_FALSE(a.get_int_strict("huge").has_value());  // ERANGE, not clamp
+  EXPECT_FALSE(a.get_int_strict("absent").has_value());
+  EXPECT_FALSE(a.get_int_strict("empty").has_value());
+  ASSERT_TRUE(a.get_double_strict("d").has_value());
+  EXPECT_DOUBLE_EQ(*a.get_double_strict("d"), 1e-3);
+  EXPECT_FALSE(a.get_double_strict("dbad").has_value());
+  EXPECT_FALSE(a.get_double_strict("absent").has_value());
+}
+
+TEST(ArgsEdge, ScientificNotationDouble) {
+  const Args a = parse({"prog", "--evalue", "1e-3"});
+  EXPECT_DOUBLE_EQ(a.get_double("evalue", 1.0), 1e-3);
+}
+
+TEST(ArgsEdge, FlagFollowedByFlagIsBooleanTrue) {
+  const Args a = parse({"prog", "--verbose", "--out", "file.m8"});
+  EXPECT_TRUE(a.get_flag("verbose"));
+  EXPECT_EQ(a.get("out"), "file.m8");
+}
+
+TEST(ArgsEdge, PositionalsInterleavedWithFlags) {
+  const Args a = parse({"prog", "a.fa", "--w", "9", "b.fa"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "a.fa");
+  EXPECT_EQ(a.positional()[1], "b.fa");
+  EXPECT_EQ(a.get_int("w", 0), 9);
+}
+
+TEST(ArgsEdge, FlagNamesEnumeratesEveryFlag) {
+  const Args a = parse({"prog", "--b", "1", "--a=2", "--c"});
+  const std::vector<std::string> names = a.flag_names();
+  ASSERT_EQ(names.size(), 3u);
+  // std::map iteration order: sorted by name.
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST(ArgsEdge, GetFlagFallbackWhenAbsent) {
+  const Args a = parse({"prog"});
+  EXPECT_FALSE(a.get_flag("missing"));
+  EXPECT_TRUE(a.get_flag("missing", true));
+}
+
+TEST(ArgsEdge, ExplicitFalseOverridesTrueFallback) {
+  const Args a = parse({"prog", "--dust", "false"});
+  EXPECT_FALSE(a.get_flag("dust", true));
+}
+
+TEST(ArgsEdge, EmptyArgvDoesNotCrash) {
+  const Args a = parse({});
+  EXPECT_TRUE(a.program().empty());
+  EXPECT_TRUE(a.positional().empty());
+  EXPECT_TRUE(a.flag_names().empty());
+}
+
+TEST(ArgsEdge, ProgramNameCaptured) {
+  const Args a = parse({"./build/scoris", "--help"});
+  EXPECT_EQ(a.program(), "./build/scoris");
+}
+
+TEST(ArgsEdge, DoubleDashTokenAloneIsAnEmptyFlagName) {
+  // "--" parses as a flag with empty name; it consumes the next token as its
+  // value. Documented quirk, not a supported separator.
+  const Args a = parse({"prog", "--", "x"});
+  EXPECT_TRUE(a.has(""));
+  EXPECT_EQ(a.get(""), "x");
+}
+
+}  // namespace

@@ -1,0 +1,304 @@
+// End-to-end coverage of the `scoris` CLI driver (src/cli/cli.cpp): m8
+// output shape, determinism across thread counts, exit codes on bad
+// arguments, and one true subprocess run of the installed binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "compare/m8.hpp"
+
+namespace {
+
+using scoris::cli::CliConfig;
+using scoris::cli::kOk;
+using scoris::cli::kRuntimeError;
+using scoris::cli::kUsage;
+
+/// Run the driver in-process with captured streams.
+struct CliResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> argv_strings) {
+  std::vector<const char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  argv.push_back("scoris");
+  for (const auto& s : argv_strings) argv.push_back(s.c_str());
+
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult r;
+  r.exit_code = scoris::cli::run(static_cast<int>(argv.size()), argv.data(),
+                                 out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    bank1_ = dir_ + "cli_bank1.fa";
+    bank2_ = dir_ + "cli_bank2.fa";
+    // qA matches sX exactly over 100 bases (with an internal repeat), qB
+    // shares a 40-base region with sY; qC matches nothing.
+    write_file(bank1_,
+               ">qA\n"
+               "TTGACCGTAAGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGGACCGTA\n"
+               "AGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGGACCGTAAGCTTGGCA\n"
+               ">qB\n"
+               "CGATTACGGATCCGGCTAAGTCGATCGATGCATGCATGGCTAGCTAGGAT\n"
+               ">qC\n"
+               "AAAAAAAAAATTTTTTTTTTAAAAAAAAAATTTTTTTTTT\n");
+    write_file(bank2_,
+               ">sX\n"
+               "TTGACCGTAAGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGGACCGTA\n"
+               "AGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGG\n"
+               ">sY\n"
+               "AGTCAGTCAGGACGGTTACCCGATTACGGATCCGGCTAAGTCGATCGATG\n");
+  }
+
+  void TearDown() override {
+    std::remove(bank1_.c_str());
+    std::remove(bank2_.c_str());
+  }
+
+  static void write_file(const std::string& path, const std::string& text) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot create " << path;
+    os << text;
+  }
+
+  std::string dir_;
+  std::string bank1_;
+  std::string bank2_;
+};
+
+TEST_F(CliTest, ProducesWellFormedM8) {
+  const CliResult r =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--threads", "1"});
+  ASSERT_EQ(r.exit_code, kOk) << r.err;
+  ASSERT_FALSE(r.out.empty());
+
+  const auto records = scoris::compare::parse_m8(r.out);
+  ASSERT_FALSE(records.empty());
+  for (const auto& rec : records) {
+    EXPECT_FALSE(rec.qseqid.empty());
+    EXPECT_FALSE(rec.sseqid.empty());
+    EXPECT_GT(rec.pident, 0.0);
+    EXPECT_LE(rec.pident, 100.0);
+    EXPECT_GT(rec.length, 0u);
+    // 1-based inclusive within-sequence coordinates on the plus strand.
+    EXPECT_GE(rec.qstart, 1u);
+    EXPECT_GE(rec.qend, rec.qstart);
+    EXPECT_GE(rec.sstart, 1u);
+    EXPECT_GE(rec.send, rec.sstart);
+    EXPECT_LE(rec.evalue, 1e-3);
+    EXPECT_GT(rec.bitscore, 0.0);
+  }
+  // The exact-duplicate pair must be reported.
+  bool found_qa_sx = false;
+  for (const auto& rec : records) {
+    found_qa_sx |= rec.qseqid == "qA" && rec.sseqid == "sX";
+  }
+  EXPECT_TRUE(found_qa_sx);
+}
+
+TEST_F(CliTest, DeterministicAcrossThreadCounts) {
+  const CliResult t1 =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--threads", "1"});
+  const CliResult t4 =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--threads", "4"});
+  ASSERT_EQ(t1.exit_code, kOk);
+  ASSERT_EQ(t4.exit_code, kOk);
+  EXPECT_EQ(t1.out, t4.out);
+
+  // Strand=both exercises the merge path; still thread-count-invariant.
+  const CliResult b1 = run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                                "--threads", "1", "--strand", "both"});
+  const CliResult b4 = run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                                "--threads", "4", "--strand", "both"});
+  ASSERT_EQ(b1.exit_code, kOk);
+  ASSERT_EQ(b4.exit_code, kOk);
+  EXPECT_EQ(b1.out, b4.out);
+}
+
+TEST_F(CliTest, PositionalBanksWork) {
+  const CliResult named =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_});
+  const CliResult positional = run_cli({bank1_, bank2_});
+  ASSERT_EQ(positional.exit_code, kOk) << positional.err;
+  EXPECT_EQ(named.out, positional.out);
+}
+
+TEST_F(CliTest, OutFlagWritesFile) {
+  const std::string out_path = dir_ + "cli_out.m8";
+  const CliResult r =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--out", out_path});
+  ASSERT_EQ(r.exit_code, kOk) << r.err;
+  EXPECT_TRUE(r.out.empty());  // everything went to the file
+
+  std::ifstream is(out_path);
+  ASSERT_TRUE(is);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  EXPECT_FALSE(ss.str().empty());
+  EXPECT_FALSE(scoris::compare::parse_m8(ss.str()).empty());
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli({}).exit_code, kUsage);                       // no banks
+  EXPECT_EQ(run_cli({"--bank1", bank1_}).exit_code, kUsage);      // one bank
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--frobnicate"})
+                .exit_code,
+            kUsage);  // unknown flag
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--w", "99"})
+                .exit_code,
+            kUsage);  // w out of range
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--threads", "0"})
+                .exit_code,
+            kUsage);  // threads out of range
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--strand", "up"})
+                .exit_code,
+            kUsage);  // bad strand
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--evalue", "-1"})
+                .exit_code,
+            kUsage);  // non-positive e-value
+  EXPECT_EQ(run_cli({bank1_, bank2_, "--bank1", bank1_}).exit_code,
+            kUsage);  // positional + named banks conflict
+  EXPECT_EQ(run_cli({bank1_}).exit_code, kUsage);  // one positional only
+
+  const CliResult r = run_cli({"--bank1", bank1_});
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnparsableNumericValuesAreRejectedNotDefaulted) {
+  // Args::get_int/get_double silently fall back on garbage; the CLI must
+  // reject instead of running with defaults the user never asked for.
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--evalue",
+                     "1e-3x"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--w", "banana"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--threads",
+                     "four"})
+                .exit_code,
+            kUsage);
+  const CliResult r =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--s1", "3.5"});
+  EXPECT_EQ(r.exit_code, kUsage);
+  EXPECT_NE(r.err.find("--s1"), std::string::npos);
+}
+
+TEST_F(CliTest, HugeNumericValuesDoNotWrapIntoRange) {
+  // 2^32 + 1 would truncate to 1 through a careless int cast and pass the
+  // [1, 1024] threads check; it must be rejected instead.
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--threads",
+                     "4294967297"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--w",
+                     "4294967307"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--s1",
+                     "99999999999999999999"})
+                .exit_code,
+            kUsage);
+}
+
+TEST_F(CliTest, BooleanFlagSwallowingAFilenameIsDiagnosed) {
+  // `--stats a.fa b.fa` would otherwise bind a.fa as the value of --stats
+  // and fail with a misleading positional-count error.
+  const CliResult r = run_cli({"--stats", bank1_, bank2_});
+  EXPECT_EQ(r.exit_code, kUsage);
+  EXPECT_NE(r.err.find("--stats does not take a value"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingInputFileExitsOne) {
+  const CliResult r =
+      run_cli({"--bank1", dir_ + "definitely_missing.fa", "--bank2", bank2_});
+  EXPECT_EQ(r.exit_code, kRuntimeError);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpAndVersionExitZero) {
+  const CliResult help = run_cli({"--help"});
+  EXPECT_EQ(help.exit_code, kOk);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+
+  const CliResult version = run_cli({"--version"});
+  EXPECT_EQ(version.exit_code, kOk);
+  EXPECT_NE(version.out.find("scoris"), std::string::npos);
+}
+
+TEST_F(CliTest, ParseCliPopulatesConfig) {
+  const std::vector<const char*> argv = {
+      "scoris",       "--bank1", "a.fa",  "--bank2",     "b.fa",
+      "--w",          "9",       "--threads", "4",       "--strand",
+      "both",         "--evalue", "1e-6", "--no-dust",   "--asymmetric",
+      "--s1",         "30",      "--stats"};
+  CliConfig config;
+  std::ostringstream err;
+  ASSERT_TRUE(scoris::cli::parse_cli(static_cast<int>(argv.size()),
+                                     argv.data(), config, err))
+      << err.str();
+  EXPECT_EQ(config.bank1_path, "a.fa");
+  EXPECT_EQ(config.bank2_path, "b.fa");
+  EXPECT_EQ(config.w, 9);
+  EXPECT_EQ(config.threads, 4);
+  EXPECT_EQ(config.strand, "both");
+  EXPECT_DOUBLE_EQ(config.max_evalue, 1e-6);
+  EXPECT_FALSE(config.dust);
+  EXPECT_TRUE(config.asymmetric);
+  EXPECT_EQ(config.min_hsp_score, 30);
+  EXPECT_TRUE(config.stats);
+}
+
+TEST_F(CliTest, DustFalseSpellingDisablesDust) {
+  const std::vector<const char*> argv = {"scoris", "--bank1", "a.fa",
+                                         "--bank2", "b.fa", "--dust", "false"};
+  CliConfig config;
+  std::ostringstream err;
+  ASSERT_TRUE(scoris::cli::parse_cli(static_cast<int>(argv.size()),
+                                     argv.data(), config, err));
+  EXPECT_FALSE(config.dust);
+}
+
+#ifdef SCORIS_CLI_PATH
+TEST_F(CliTest, SubprocessBinaryRunsEndToEnd) {
+  const std::string out_path = dir_ + "cli_subprocess.m8";
+  const std::string cmd = std::string(SCORIS_CLI_PATH) + " --bank1 " + bank1_ +
+                          " --bank2 " + bank2_ + " --threads 2 --out " +
+                          out_path;
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  std::ifstream is(out_path);
+  ASSERT_TRUE(is);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  EXPECT_FALSE(scoris::compare::parse_m8(ss.str()).empty());
+  std::remove(out_path.c_str());
+
+  const int bad = std::system(
+      (std::string(SCORIS_CLI_PATH) + " --bank1 only.fa 2>/dev/null").c_str());
+  ASSERT_NE(bad, -1);
+  EXPECT_EQ(WEXITSTATUS(bad), 2);
+}
+#endif
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Dedicated ThreadPool stress coverage: submit/wait_idle under contention,
+// concurrent producers, pool reuse across waves, and the zero-thread clamp.
+// (util_test.cpp keeps the smoke-level assertions.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "util/threading.hpp"
+
+namespace {
+
+using scoris::util::ThreadPool;
+using scoris::util::parallel_chunks;
+
+TEST(ThreadPoolStress, ManyTasksFromManyProducers) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.submit([&counter] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, WaitIdleObservesSlowTasks) {
+  ThreadPool pool(8);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // wait_idle must not return while any task is queued or in flight.
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 1; wave <= 5; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), wave * 100);
+  }
+}
+
+TEST(ThreadPoolStress, TasksSubmittingTasksUnderContention) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kRoots = 32;
+  constexpr int kChildren = 8;
+  for (int i = 0; i < kRoots; ++i) {
+    pool.submit([&pool, &counter] {
+      for (int c = 0; c < kChildren; ++c) {
+        pool.submit([&counter] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      counter.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kRoots * (kChildren + 1));
+}
+
+TEST(ThreadPoolStress, ZeroThreadsClampedToOneAndStillRuns) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolStress, DestructorJoinsQuietlyAfterWaitIdle) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+  }  // destructor must join without deadlock
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelChunksStress, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_chunks(0, 3, 16, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelChunksStress, LargeRangeCoveredExactlyOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<unsigned char>> hits(kN);
+  parallel_chunks(0, kN, 8, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "position " << i;
+  }
+}
+
+}  // namespace
