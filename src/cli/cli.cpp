@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <exception>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <ostream>
@@ -11,11 +12,13 @@
 #include <vector>
 
 #include "compare/m8.hpp"
+#include "core/chunked.hpp"
 #include "core/pipeline.hpp"
 #include "seqio/fasta.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "seqio/serialize.hpp"
 #include "seqio/strand.hpp"
+#include "store/index_store.hpp"
 #include "util/argparse.hpp"
 
 namespace scoris::cli {
@@ -24,12 +27,30 @@ namespace {
 
 constexpr const char* kVersion = "scoris 0.1.0 (SCORIS-N, Lavenier'08 ORIS)";
 
-/// Flags the driver understands; anything else is a usage error.
+/// Flags the flat compare driver understands; anything else is a usage
+/// error.
 const std::vector<std::string>& known_flags() {
   static const std::vector<std::string> kKnown = {
       "bank1",   "bank2",      "out",   "w",       "threads",
       "strand",  "evalue",     "dust",  "no-dust", "asymmetric",
       "s1",      "stats",      "help",  "version",
+  };
+  return kKnown;
+}
+
+const std::vector<std::string>& known_search_flags() {
+  static const std::vector<std::string> kKnown = {
+      "index",   "bank2",  "out",     "w",
+      "threads", "strand", "evalue",  "dust",
+      "no-dust", "asymmetric", "s1",  "stats",
+      "memory-budget-mb", "help",
+  };
+  return kKnown;
+}
+
+const std::vector<std::string>& known_index_flags() {
+  static const std::vector<std::string> kKnown = {
+      "bank", "out", "w", "dust", "no-dust", "stats", "help",
   };
   return kKnown;
 }
@@ -66,6 +87,15 @@ bool parse_int_flag(const util::Args& args, const std::string& name,
   return true;
 }
 
+bool parse_size_flag(const util::Args& args, const std::string& name,
+                     int lo, int hi, std::size_t& value, std::ostream& err) {
+  if (!args.has(name)) return true;
+  int v = 0;
+  if (!parse_int_flag(args, name, lo, hi, v, err)) return false;
+  value = static_cast<std::size_t>(v);
+  return true;
+}
+
 bool parse_double_flag(const util::Args& args, const std::string& name,
                        double& value, std::ostream& err) {
   if (!args.has(name)) return true;
@@ -96,15 +126,255 @@ bool check_boolean_flag(const util::Args& args, const std::string& name,
   return false;
 }
 
+bool reject_unknown_flags(const util::Args& args,
+                          const std::vector<std::string>& known,
+                          std::ostream& err) {
+  for (const std::string& name : args.flag_names()) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      err << "error: unknown flag --" << name << '\n';
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Flags shared by the flat compare form and `scoris search`.
+bool parse_search_options(const util::Args& args, CliConfig& config,
+                          std::ostream& err) {
+  config.out_path = args.get("out");
+  if (!parse_int_flag(args, "w", 4, 14, config.w, err)) return false;
+  if (!parse_int_flag(args, "threads", 1, 1024, config.threads, err)) {
+    return false;
+  }
+  if (!parse_int_flag(args, "s1", 0, 1000000000, config.min_hsp_score, err)) {
+    return false;
+  }
+  if (!parse_double_flag(args, "evalue", config.max_evalue, err)) return false;
+  if (!(config.max_evalue > 0.0)) {
+    err << "error: --evalue must be positive, got " << args.get("evalue")
+        << '\n';
+    return false;
+  }
+
+  config.strand = args.get("strand", config.strand);
+  if (config.strand != "plus" && config.strand != "minus" &&
+      config.strand != "both") {
+    err << "error: --strand must be plus, minus or both, got '"
+        << config.strand << "'\n";
+    return false;
+  }
+
+  config.dust = args.get_flag("dust", true);
+  if (args.get_flag("no-dust")) config.dust = false;
+  config.asymmetric = args.get_flag("asymmetric");
+  config.stats = args.get_flag("stats");
+  return true;
+}
+
+core::Options pipeline_options(const CliConfig& config) {
+  core::Options options;
+  options.w = config.w;
+  options.threads = config.threads;
+  options.min_hsp_score = config.min_hsp_score;
+  options.max_evalue = config.max_evalue;
+  options.dust = config.dust;
+  options.asymmetric = config.asymmetric;
+  options.strand = config.strand == "minus"  ? seqio::Strand::kMinus
+                   : config.strand == "both" ? seqio::Strand::kBoth
+                                             : seqio::Strand::kPlus;
+  return options;
+}
+
+void print_stats(std::ostream& err, const core::PipelineStats& s,
+                 std::size_t alignments) {
+  err << "scoris: " << alignments << " alignments, " << s.hit_pairs
+      << " seed hits (" << s.order_aborts << " order-aborted), " << s.hsps
+      << " HSPs, " << s.masked_bases << " DUST-masked bases\n"
+      << "  step1 " << s.index_seconds << "s, step2 " << s.hsp_seconds
+      << "s, step3 " << s.gapped_seconds << "s, total " << s.total_seconds
+      << "s\n";
+  // Index memory accounting (paper section 3.1: ~5 bytes per position =
+  // 4-byte chain entry + 1-byte SEQ code; dictionaries are O(4^W) apart).
+  const double per_pos =
+      s.index_positions == 0
+          ? 0.0
+          : static_cast<double>(s.index_chain_bytes + s.index_positions) /
+                static_cast<double>(s.index_positions);
+  err << "  index memory: " << s.index_dict_bytes << " B dictionaries + "
+      << s.index_chain_bytes << " B chains over " << s.index_positions
+      << " positions (" << std::fixed << std::setprecision(2) << per_pos
+      << " bytes/position incl. SEQ)\n"
+      << std::defaultfloat << std::setprecision(6);
+}
+
+/// Open config.out_path (or fall back to `out`) before the potentially
+/// long pipeline run so an unwritable path fails fast.
+bool open_sink(const CliConfig& config, std::ostream& out,
+               std::ofstream& out_file, std::ostream*& sink,
+               std::ostream& err) {
+  sink = &out;
+  if (!config.out_path.empty()) {
+    out_file.open(config.out_path);
+    if (!out_file) {
+      err << "error: cannot create " << config.out_path << '\n';
+      return false;
+    }
+    sink = &out_file;
+  }
+  return true;
+}
+
+bool flush_sink(const CliConfig& config, std::ostream& sink,
+                std::ostream& err) {
+  sink.flush();
+  if (!sink) {
+    err << "error: writing m8 output"
+        << (config.out_path.empty() ? "" : " to " + config.out_path)
+        << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+int run_compare(const CliConfig& config, std::ostream& out,
+                std::ostream& err) {
+  seqio::SequenceBank bank1;
+  seqio::SequenceBank bank2;
+  try {
+    bank1 = load_bank(config.bank1_path);
+    bank2 = load_bank(config.bank2_path);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  std::ofstream out_file;
+  std::ostream* sink = nullptr;
+  if (!open_sink(config, out, out_file, sink, err)) return kRuntimeError;
+
+  const core::Pipeline pipeline(pipeline_options(config));
+  core::Result result;
+  try {
+    result = pipeline.run(bank1, bank2);
+  } catch (const std::exception& e) {
+    err << "error: pipeline failed: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  core::write_result_m8(*sink, result, bank1, bank2);
+  if (!flush_sink(config, *sink, err)) return kRuntimeError;
+
+  if (config.stats) {
+    print_stats(err, result.stats, result.alignments.size());
+  }
+  return kOk;
+}
+
+int run_search(const CliConfig& config, std::ostream& out,
+               std::ostream& err) {
+  const core::Options options = pipeline_options(config);
+
+  store::IndexStore loaded;
+  seqio::SequenceBank bank2;
+  const index::BankIndex* idx1 = nullptr;
+  try {
+    loaded = store::load_index(config.index_path);
+    // The bank1 index must have been built with exactly the settings this
+    // search runs with; anything else silently changes the seed set.
+    store::IndexKey want;
+    want.w = options.effective_w();
+    want.stride = 1;
+    want.dust = options.dust;
+    want.dust_params = options.dust_params;
+    idx1 = &loaded.require(want);
+    bank2 = load_bank(config.bank2_path);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  std::ofstream out_file;
+  std::ostream* sink = nullptr;
+  if (!open_sink(config, out, out_file, sink, err)) return kRuntimeError;
+
+  std::vector<align::GappedAlignment> alignments;
+  core::PipelineStats stats;
+  try {
+    if (config.memory_budget_mb > 0) {
+      core::ChunkedOptions copt;
+      copt.pipeline = options;
+      copt.memory_budget_bytes = config.memory_budget_mb << 20;
+      core::ChunkedResult result = core::run_chunked(*idx1, bank2, copt);
+      alignments = std::move(result.alignments);
+      stats = result.stats;
+      if (config.stats) {
+        err << "scoris: streamed bank2 in " << result.chunks
+            << " slice(s) under a " << config.memory_budget_mb
+            << " MB index budget\n";
+      }
+    } else {
+      const core::Pipeline pipeline(options);
+      core::Result result = pipeline.run(*idx1, bank2);
+      alignments = std::move(result.alignments);
+      stats = result.stats;
+    }
+  } catch (const std::exception& e) {
+    err << "error: pipeline failed: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  compare::write_m8(*sink, alignments, loaded.bank(), bank2);
+  if (!flush_sink(config, *sink, err)) return kRuntimeError;
+
+  if (config.stats) {
+    print_stats(err, stats, alignments.size());
+  }
+  return kOk;
+}
+
+int run_index(const IndexCliConfig& config, std::ostream& err) {
+  seqio::SequenceBank bank;
+  try {
+    bank = load_bank(config.bank_path);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  store::IndexKey key;
+  key.w = config.w;
+  key.dust = config.dust;
+  try {
+    store::write_index_file(config.out_path, bank, {&key, 1});
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  if (config.stats) {
+    const seqio::BankStats bs = bank.stats();
+    err << "scoris index: " << bank.size() << " sequences, " << std::fixed
+        << std::setprecision(2) << bs.mbp() << std::defaultfloat
+        << " Mbp -> " << config.out_path << " (" << store::to_string(key)
+        << ")\n";
+  }
+  return kOk;
+}
+
 }  // namespace
 
 void print_usage(std::ostream& os, const std::string& program) {
   os << "usage: " << program
      << " --bank1 <a.fa> --bank2 <b.fa> [options]\n"
      << "       " << program << " <a.fa> <b.fa> [options]\n"
+     << "       " << program << " index --bank <ref.fa> --out <ref.scix>\n"
+     << "       " << program
+     << " search --index <ref.scix> --bank2 <b.fa> [options]\n"
      << "\n"
      << "Compare two DNA banks with the ORIS pipeline and write BLAST -m 8\n"
-     << "tabular output. Banks are FASTA files (or binary .scob banks).\n"
+     << "tabular output. Banks are FASTA files (or binary .scob banks);\n"
+     << "`index`/`search` prebuild and reuse a .scix bank+index artifact\n"
+     << "(see `" << program << " index --help`).\n"
      << "\n"
      << "options:\n"
      << "  --bank1 FILE    query-side bank (m8 qseqid column)\n"
@@ -123,17 +393,59 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "  --version       show version and exit\n";
 }
 
+void print_index_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program
+     << " index --bank <ref.fa> --out <ref.scix> [options]\n"
+     << "\n"
+     << "Build a persistent .scix artifact: the bank (2-bit packed) plus a\n"
+     << "precomputed seed index, loadable by `" << program
+     << " search` without\n"
+     << "re-parsing FASTA or re-scanning a single sequence.\n"
+     << "\n"
+     << "options:\n"
+     << "  --bank FILE     bank to index (FASTA or .scob; also positional)\n"
+     << "  --out FILE      artifact path to create (required)\n"
+     << "  --w N           seed length, 4..13 (default 11; use 10 for\n"
+     << "                  searches that will run --asymmetric)\n"
+     << "  --dust BOOL     DUST-mask before indexing (default true); the\n"
+     << "                  search must use the same setting\n"
+     << "  --no-dust       shorthand for --dust false\n"
+     << "  --stats         print a build summary to stderr\n"
+     << "  --help          show this message and exit\n";
+}
+
+void print_search_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program
+     << " search --index <ref.scix> --bank2 <b.fa> [options]\n"
+     << "\n"
+     << "Compare a prebuilt .scix artifact (the bank1/query side) against a\n"
+     << "FASTA/.scob bank. Output is byte-identical to the flat invocation\n"
+     << "on the artifact's source FASTA when the settings match.\n"
+     << "\n"
+     << "options:\n"
+     << "  --index FILE    .scix artifact built by `" << program
+     << " index`\n"
+     << "  --bank2 FILE    subject-side bank (m8 sseqid column)\n"
+     << "  --out FILE      write m8 output to FILE (default: stdout)\n"
+     << "  --w N           seed length; must match the artifact (default 11)\n"
+     << "  --threads N     worker threads for steps 2-3 (default 1)\n"
+     << "  --strand S      plus (default), minus, or both\n"
+     << "  --evalue E      e-value cutoff (default 1e-3)\n"
+     << "  --dust BOOL / --no-dust   must match the artifact (default true)\n"
+     << "  --asymmetric    10-nt words, stride-2 index on bank2 (artifact\n"
+     << "                  must hold a w=10 payload)\n"
+     << "  --s1 SCORE      minimum HSP raw score (default 25)\n"
+     << "  --memory-budget-mb N   stream bank2 in slices under N MB of\n"
+     << "                  index memory (default: no slicing)\n"
+     << "  --stats         print per-step statistics to stderr\n"
+     << "  --help          show this message and exit\n";
+}
+
 bool parse_cli(int argc, const char* const* argv, CliConfig& config,
                std::ostream& err) {
   const util::Args args = util::Args::parse(argc, argv);
 
-  for (const std::string& name : args.flag_names()) {
-    const auto& known = known_flags();
-    if (std::find(known.begin(), known.end(), name) == known.end()) {
-      err << "error: unknown flag --" << name << '\n';
-      return false;
-    }
-  }
+  if (!reject_unknown_flags(args, known_flags(), err)) return false;
 
   for (const char* name : {"stats", "asymmetric", "dust", "no-dust", "help",
                            "version"}) {
@@ -166,32 +478,82 @@ bool parse_cli(int argc, const char* const* argv, CliConfig& config,
     return false;
   }
 
+  return parse_search_options(args, config, err);
+}
+
+bool parse_search_cli(int argc, const char* const* argv, CliConfig& config,
+                      std::ostream& err) {
+  const util::Args args = util::Args::parse(argc, argv);
+
+  if (!reject_unknown_flags(args, known_search_flags(), err)) return false;
+  for (const char* name : {"stats", "asymmetric", "dust", "no-dust", "help"}) {
+    if (!check_boolean_flag(args, name, err)) return false;
+  }
+
+  config.help = args.get_flag("help");
+  if (config.help) return true;
+
+  if (!args.positional().empty()) {
+    err << "error: search takes no positional arguments, got '"
+        << args.positional()[0] << "'\n";
+    return false;
+  }
+  config.index_path = args.get("index");
+  config.bank2_path = args.get("bank2");
+  if (config.index_path.empty() || config.bank2_path.empty()) {
+    err << "error: both --index and --bank2 are required\n";
+    return false;
+  }
+  if (!parse_size_flag(args, "memory-budget-mb", 1, 1 << 20,
+                       config.memory_budget_mb, err)) {
+    return false;
+  }
+  if (!parse_search_options(args, config, err)) return false;
+  // Artifacts cap W at 13 (int32 chains); the flat form's W=14 can never
+  // match a payload, so reject it here as the usage error it is —
+  // except under --asymmetric, where the effective word length is 10.
+  if (config.w > 13 && !config.asymmetric) {
+    err << "error: --w must be <= 13 for search (.scix artifacts cap W at "
+           "13)\n";
+    return false;
+  }
+  return true;
+}
+
+bool parse_index_cli(int argc, const char* const* argv,
+                     IndexCliConfig& config, std::ostream& err) {
+  const util::Args args = util::Args::parse(argc, argv);
+
+  if (!reject_unknown_flags(args, known_index_flags(), err)) return false;
+  for (const char* name : {"stats", "dust", "no-dust", "help"}) {
+    if (!check_boolean_flag(args, name, err)) return false;
+  }
+
+  config.help = args.get_flag("help");
+  if (config.help) return true;
+
+  config.bank_path = args.get("bank");
+  const auto& positional = args.positional();
+  if (!positional.empty()) {
+    if (!config.bank_path.empty() || positional.size() != 1) {
+      err << "error: expected exactly one bank (--bank FILE or one "
+             "positional)\n";
+      return false;
+    }
+    config.bank_path = positional[0];
+  }
+  if (config.bank_path.empty()) {
+    err << "error: --bank is required\n";
+    return false;
+  }
   config.out_path = args.get("out");
-  if (!parse_int_flag(args, "w", 4, 14, config.w, err)) return false;
-  if (!parse_int_flag(args, "threads", 1, 1024, config.threads, err)) {
+  if (config.out_path.empty()) {
+    err << "error: --out is required\n";
     return false;
   }
-  if (!parse_int_flag(args, "s1", 0, 1000000000, config.min_hsp_score, err)) {
-    return false;
-  }
-  if (!parse_double_flag(args, "evalue", config.max_evalue, err)) return false;
-  if (!(config.max_evalue > 0.0)) {
-    err << "error: --evalue must be positive, got " << args.get("evalue")
-        << '\n';
-    return false;
-  }
-
-  config.strand = args.get("strand", config.strand);
-  if (config.strand != "plus" && config.strand != "minus" &&
-      config.strand != "both") {
-    err << "error: --strand must be plus, minus or both, got '"
-        << config.strand << "'\n";
-    return false;
-  }
-
+  if (!parse_int_flag(args, "w", 4, 13, config.w, err)) return false;
   config.dust = args.get_flag("dust", true);
   if (args.get_flag("no-dust")) config.dust = false;
-  config.asymmetric = args.get_flag("asymmetric");
   config.stats = args.get_flag("stats");
   return true;
 }
@@ -199,6 +561,33 @@ bool parse_cli(int argc, const char* const* argv, CliConfig& config,
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
   const std::string program = argc > 0 ? argv[0] : "scoris";
+  const std::string subcommand = argc > 1 ? argv[1] : "";
+
+  if (subcommand == "index") {
+    IndexCliConfig config;
+    if (!parse_index_cli(argc - 1, argv + 1, config, err)) {
+      print_index_usage(err, program);
+      return kUsage;
+    }
+    if (config.help) {
+      print_index_usage(out, program);
+      return kOk;
+    }
+    return run_index(config, err);
+  }
+
+  if (subcommand == "search") {
+    CliConfig config;
+    if (!parse_search_cli(argc - 1, argv + 1, config, err)) {
+      print_search_usage(err, program);
+      return kUsage;
+    }
+    if (config.help) {
+      print_search_usage(out, program);
+      return kOk;
+    }
+    return run_search(config, out, err);
+  }
 
   CliConfig config;
   if (!parse_cli(argc, argv, config, err)) {
@@ -213,70 +602,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     out << kVersion << '\n';
     return kOk;
   }
-
-  seqio::SequenceBank bank1;
-  seqio::SequenceBank bank2;
-  try {
-    bank1 = load_bank(config.bank1_path);
-    bank2 = load_bank(config.bank2_path);
-  } catch (const std::exception& e) {
-    err << "error: " << e.what() << '\n';
-    return kRuntimeError;
-  }
-
-  core::Options options;
-  options.w = config.w;
-  options.threads = config.threads;
-  options.min_hsp_score = config.min_hsp_score;
-  options.max_evalue = config.max_evalue;
-  options.dust = config.dust;
-  options.asymmetric = config.asymmetric;
-  options.strand = config.strand == "minus"  ? seqio::Strand::kMinus
-                   : config.strand == "both" ? seqio::Strand::kBoth
-                                             : seqio::Strand::kPlus;
-
-  // Open the output sink before the (potentially long) pipeline run so an
-  // unwritable path fails fast instead of after all the compute.
-  std::ofstream out_file;
-  std::ostream* sink = &out;
-  if (!config.out_path.empty()) {
-    out_file.open(config.out_path);
-    if (!out_file) {
-      err << "error: cannot create " << config.out_path << '\n';
-      return kRuntimeError;
-    }
-    sink = &out_file;
-  }
-
-  const core::Pipeline pipeline(options);
-  core::Result result;
-  try {
-    result = pipeline.run(bank1, bank2);
-  } catch (const std::exception& e) {
-    err << "error: pipeline failed: " << e.what() << '\n';
-    return kRuntimeError;
-  }
-
-  core::write_result_m8(*sink, result, bank1, bank2);
-  sink->flush();
-  if (!*sink) {
-    err << "error: writing m8 output"
-        << (config.out_path.empty() ? "" : " to " + config.out_path)
-        << " failed\n";
-    return kRuntimeError;
-  }
-
-  if (config.stats) {
-    const core::PipelineStats& s = result.stats;
-    err << "scoris: " << result.alignments.size() << " alignments, "
-        << s.hit_pairs << " seed hits (" << s.order_aborts
-        << " order-aborted), " << s.hsps << " HSPs, " << s.masked_bases
-        << " DUST-masked bases\n"
-        << "  step1 " << s.index_seconds << "s, step2 " << s.hsp_seconds
-        << "s, step3 " << s.gapped_seconds << "s, total " << s.total_seconds
-        << "s\n";
-  }
-  return kOk;
+  return run_compare(config, out, err);
 }
 
 }  // namespace scoris::cli

@@ -1,10 +1,17 @@
 // The `scoris` command-line driver.
 //
-// Wires util::Args -> FASTA/.scob loading -> core::Pipeline -> m8 output.
-// The whole driver lives in the library (not in main.cpp) so the test suite
-// can run it in-process with captured streams and asserted exit codes.
+// Three entry forms share one binary:
+//   scoris --bank1 a.fa --bank2 b.fa [options]   # compare (original form)
+//   scoris index --bank ref.fa --out ref.scix    # prebuild a .scix artifact
+//   scoris search --index ref.scix --bank2 b.fa  # compare against artifact
+//
+// Wires util::Args -> FASTA/.scob/.scix loading -> core::Pipeline -> m8
+// output.  The whole driver lives in the library (not in main.cpp) so the
+// test suite can run it in-process with captured streams and asserted exit
+// codes.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -13,15 +20,17 @@ namespace scoris::cli {
 /// Exit codes returned by run() (and hence by the `scoris` binary).
 enum ExitCode : int {
   kOk = 0,            ///< pipeline ran, m8 written
-  kRuntimeError = 1,  ///< bank load, output write, or pipeline failure
+  kRuntimeError = 1,  ///< bank/artifact load, output write, or pipeline failure
   kUsage = 2,         ///< bad / missing / unknown arguments (usage printed)
 };
 
-/// Everything the driver parsed from argv, exposed for tests.
+/// Everything the compare/search driver parsed from argv, exposed for
+/// tests.  `search` mode fills index_path instead of bank1_path.
 struct CliConfig {
   std::string bank1_path;
   std::string bank2_path;
-  std::string out_path;  ///< empty = stdout
+  std::string index_path;  ///< search only: .scix artifact (bank1 side)
+  std::string out_path;    ///< empty = stdout
   int w = 11;
   int threads = 1;
   int min_hsp_score = 25;
@@ -32,21 +41,48 @@ struct CliConfig {
   bool stats = false;
   bool help = false;
   bool version = false;
+  /// search only: when > 0, stream bank2 in slices so the two in-memory
+  /// indexes stay under this budget (core::run_chunked).
+  std::size_t memory_budget_mb = 0;
 };
 
-/// Parse argv into a CliConfig. On error, writes a one-line diagnostic to
-/// `err` and returns false. `--bank1/--bank2` may also be given as the two
-/// positional arguments.
+/// What `scoris index` parsed from argv.  (Stride-subsampled payloads
+/// exist in the .scix format for the library API, but the CLI always
+/// builds stride-1 indexes — that is the only stride `search` consumes
+/// for the bank1 side.)
+struct IndexCliConfig {
+  std::string bank_path;
+  std::string out_path;
+  int w = 11;
+  bool dust = true;
+  bool stats = false;
+  bool help = false;
+};
+
+/// Parse argv into a CliConfig (the flat compare form). On error, writes a
+/// one-line diagnostic to `err` and returns false. `--bank1/--bank2` may
+/// also be given as the two positional arguments.
 bool parse_cli(int argc, const char* const* argv, CliConfig& config,
                std::ostream& err);
 
-/// Full driver: parse, load banks, run the pipeline, write m8 to `out`
-/// (or to config.out_path when given). Diagnostics and --stats go to `err`.
+/// Parse the `scoris search` argv (argv[0] is the subcommand token).
+bool parse_search_cli(int argc, const char* const* argv, CliConfig& config,
+                      std::ostream& err);
+
+/// Parse the `scoris index` argv (argv[0] is the subcommand token).
+bool parse_index_cli(int argc, const char* const* argv,
+                     IndexCliConfig& config, std::ostream& err);
+
+/// Full driver: dispatch on the `index` / `search` subcommand (flat
+/// compare otherwise), load inputs, run, write m8 to `out` (or to
+/// config.out_path when given). Diagnostics and --stats go to `err`.
 /// Returns an ExitCode value.
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err);
 
-/// The usage text printed by --help and on usage errors.
+/// The usage texts printed by --help and on usage errors.
 void print_usage(std::ostream& os, const std::string& program);
+void print_index_usage(std::ostream& os, const std::string& program);
+void print_search_usage(std::ostream& os, const std::string& program);
 
 }  // namespace scoris::cli

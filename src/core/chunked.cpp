@@ -24,11 +24,16 @@ seqio::SequenceBank slice_bank(const seqio::SequenceBank& bank,
   return out;
 }
 
-ChunkedResult run_chunked(const seqio::SequenceBank& bank1,
-                          const seqio::SequenceBank& bank2,
-                          const ChunkedOptions& options) {
+namespace {
+
+/// Shared slicing loop: `run_slice` maps one bank2 slice to a pipeline
+/// Result; `bytes1` is the memory the bank1 side already occupies.
+template <typename RunSlice>
+ChunkedResult run_chunked_impl(std::size_t bytes1,
+                               const seqio::SequenceBank& bank2,
+                               const ChunkedOptions& options,
+                               RunSlice&& run_slice) {
   const int w = options.pipeline.effective_w();
-  const std::size_t bytes1 = estimated_index_bytes(bank1, w);
   const std::size_t bytes2 = estimated_index_bytes(bank2, w);
 
   ChunkedResult result;
@@ -45,13 +50,12 @@ ChunkedResult run_chunked(const seqio::SequenceBank& bank1,
   chunks = std::max(chunks, std::max<std::size_t>(1, options.min_chunks));
   chunks = std::min(chunks, std::max<std::size_t>(1, bank2.size()));
 
-  const Pipeline pipeline(options.pipeline);
   const std::size_t per_chunk = (bank2.size() + chunks - 1) / chunks;
 
   for (std::size_t from = 0; from < bank2.size(); from += per_chunk) {
     const std::size_t to = std::min(bank2.size(), from + per_chunk);
     const seqio::SequenceBank slice = slice_bank(bank2, from, to);
-    Result part = pipeline.run(bank1, slice);
+    Result part = run_slice(slice);
     ++result.chunks;
 
     // Remap subject ids and global positions back to bank2.
@@ -77,6 +81,9 @@ ChunkedResult run_chunked(const seqio::SequenceBank& bank1,
     s.hsps += p.hsps;
     s.duplicate_hsps += p.duplicate_hsps;
     s.index_bytes = std::max(s.index_bytes, p.index_bytes);
+    s.index_dict_bytes = std::max(s.index_dict_bytes, p.index_dict_bytes);
+    s.index_chain_bytes = std::max(s.index_chain_bytes, p.index_chain_bytes);
+    s.index_positions = std::max(s.index_positions, p.index_positions);
     s.masked_bases += p.masked_bases;
     s.gapped.hsps_in += p.gapped.hsps_in;
     s.gapped.skipped_contained += p.gapped.skipped_contained;
@@ -95,6 +102,36 @@ ChunkedResult run_chunked(const seqio::SequenceBank& bank1,
             });
   result.stats.alignments = result.alignments.size();
   return result;
+}
+
+}  // namespace
+
+ChunkedResult run_chunked(const seqio::SequenceBank& bank1,
+                          const seqio::SequenceBank& bank2,
+                          const ChunkedOptions& options) {
+  const Pipeline pipeline(options.pipeline);
+  const std::size_t bytes1 =
+      estimated_index_bytes(bank1, options.pipeline.effective_w());
+  return run_chunked_impl(
+      bytes1, bank2, options,
+      [&](const seqio::SequenceBank& slice) {
+        return pipeline.run(bank1, slice);
+      });
+}
+
+ChunkedResult run_chunked(const index::BankIndex& idx1,
+                          const seqio::SequenceBank& bank2,
+                          const ChunkedOptions& options) {
+  const Pipeline pipeline(options.pipeline);
+  // The prebuilt index reports its actual footprint; add the SEQ bytes the
+  // bank itself holds, mirroring estimated_index_bytes's N * (4 + 1).
+  const std::size_t bytes1 =
+      idx1.memory_bytes() + idx1.bank().data_size() * sizeof(seqio::Code);
+  return run_chunked_impl(
+      bytes1, bank2, options,
+      [&](const seqio::SequenceBank& slice) {
+        return pipeline.run(idx1, slice);
+      });
 }
 
 }  // namespace scoris::core

@@ -46,4 +46,13 @@ struct ChunkedResult {
                                         const seqio::SequenceBank& bank2,
                                         const ChunkedOptions& options = {});
 
+/// Same driver with a prebuilt bank1 index (e.g. loaded from a .scix
+/// store): bank1 is never re-indexed, bank2 is sliced to fit the budget
+/// next to the index's *actual* memory footprint, and the merged result is
+/// bit-identical to the FASTA-built unchunked run.  The index's word
+/// length must match options.pipeline (std::invalid_argument otherwise).
+[[nodiscard]] ChunkedResult run_chunked(const index::BankIndex& idx1,
+                                        const seqio::SequenceBank& bank2,
+                                        const ChunkedOptions& options = {});
+
 }  // namespace scoris::core

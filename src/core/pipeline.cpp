@@ -1,7 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "align/ungapped.hpp"
@@ -74,18 +77,34 @@ Pipeline::Pipeline(Options options) : options_(std::move(options)) {
 
 Result Pipeline::run(const seqio::SequenceBank& bank1,
                      const seqio::SequenceBank& bank2) const {
+  return run_strands(bank1, bank2, /*prebuilt1=*/nullptr);
+}
+
+Result Pipeline::run(const index::BankIndex& idx1,
+                     const seqio::SequenceBank& bank2) const {
+  if (idx1.w() != options_.effective_w()) {
+    throw std::invalid_argument(
+        "pipeline: prebuilt index has w=" + std::to_string(idx1.w()) +
+        " but the run needs w=" + std::to_string(options_.effective_w()));
+  }
+  return run_strands(idx1.bank(), bank2, &idx1);
+}
+
+Result Pipeline::run_strands(const seqio::SequenceBank& bank1,
+                             const seqio::SequenceBank& bank2,
+                             const index::BankIndex* prebuilt1) const {
   using seqio::Strand;
   if (options_.strand == Strand::kPlus) {
-    return run_single(bank1, bank2, /*minus=*/false);
+    return run_single(bank1, bank2, /*minus=*/false, prebuilt1);
   }
   const seqio::SequenceBank rc = seqio::reverse_complement(bank2);
   if (options_.strand == Strand::kMinus) {
-    return run_single(bank1, rc, /*minus=*/true);
+    return run_single(bank1, rc, /*minus=*/true, prebuilt1);
   }
 
   // Both strands: run each and merge (step-4 ordering re-applied).
-  Result plus = run_single(bank1, bank2, /*minus=*/false);
-  Result minus = run_single(bank1, rc, /*minus=*/true);
+  Result plus = run_single(bank1, bank2, /*minus=*/false, prebuilt1);
+  Result minus = run_single(bank1, rc, /*minus=*/true, prebuilt1);
   plus.alignments.insert(plus.alignments.end(), minus.alignments.begin(),
                          minus.alignments.end());
   std::sort(plus.alignments.begin(), plus.alignments.end(),
@@ -108,6 +127,9 @@ Result Pipeline::run(const seqio::SequenceBank& bank1,
   s.hsps += m.hsps;
   s.duplicate_hsps += m.duplicate_hsps;
   s.index_bytes = std::max(s.index_bytes, m.index_bytes);
+  s.index_dict_bytes = std::max(s.index_dict_bytes, m.index_dict_bytes);
+  s.index_chain_bytes = std::max(s.index_chain_bytes, m.index_chain_bytes);
+  s.index_positions = std::max(s.index_positions, m.index_positions);
   s.masked_bases += m.masked_bases;
   s.gapped.hsps_in += m.gapped.hsps_in;
   s.gapped.skipped_contained += m.gapped.skipped_contained;
@@ -120,7 +142,8 @@ Result Pipeline::run(const seqio::SequenceBank& bank1,
 
 Result Pipeline::run_single(const seqio::SequenceBank& bank1,
                             const seqio::SequenceBank& bank2,
-                            bool minus) const {
+                            bool minus,
+                            const index::BankIndex* prebuilt1) const {
   Result result;
   util::WallTimer total;
 
@@ -134,17 +157,28 @@ Result Pipeline::run_single(const seqio::SequenceBank& bank1,
   index::IndexOptions iopt1;
   index::IndexOptions iopt2;
   if (options_.dust) {
-    mask1 = filter::dust_mask(bank1, options_.dust_params);
+    if (prebuilt1 == nullptr) {
+      mask1 = filter::dust_mask(bank1, options_.dust_params);
+      iopt1.mask = &mask1;
+    }
     mask2 = filter::dust_mask(bank2, options_.dust_params);
-    iopt1.mask = &mask1;
     iopt2.mask = &mask2;
-    result.stats.masked_bases = mask1.count() + mask2.count();
   }
   if (options_.asymmetric) iopt2.stride = 2;
 
-  const BankIndex idx1(bank1, coder, iopt1);
+  // bank1's index is either adopted (already built, e.g. loaded from a
+  // .scix store) or built in place; bank2's is always fresh (it may be a
+  // reverse complement or a chunk slice).
+  std::optional<BankIndex> own1;
+  if (prebuilt1 == nullptr) own1.emplace(bank1, coder, iopt1);
+  const BankIndex& idx1 = prebuilt1 != nullptr ? *prebuilt1 : *own1;
   const BankIndex idx2(bank2, coder, iopt2);
+  result.stats.masked_bases = idx1.masked_bases() + idx2.masked_bases();
   result.stats.index_bytes = idx1.memory_bytes() + idx2.memory_bytes();
+  result.stats.index_dict_bytes =
+      idx1.dictionary_bytes() + idx2.dictionary_bytes();
+  result.stats.index_chain_bytes = idx1.chain_bytes() + idx2.chain_bytes();
+  result.stats.index_positions = bank1.data_size() + bank2.data_size();
   result.stats.index_seconds = t1.seconds();
 
   // ---- step 2: ordered hit extension --------------------------------------

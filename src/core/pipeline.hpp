@@ -22,6 +22,7 @@
 #include "align/scoring.hpp"
 #include "core/gapped_stage.hpp"
 #include "filter/dust.hpp"
+#include "index/bank_index.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "seqio/strand.hpp"
 #include "stats/karlin.hpp"
@@ -67,6 +68,13 @@ struct PipelineStats {
   std::size_t hsps = 0;             ///< HSPs above S1 (after dedup if any)
   std::size_t duplicate_hsps = 0;   ///< removed duplicates (order off only)
   std::size_t index_bytes = 0;      ///< both indexes
+  // Index memory accounting (the ROADMAP's Mbp-scale probe): the O(4^W)
+  // dictionaries and O(N) chains of both indexes, and the chain positions
+  // they cover.  bytes/position = (chains + positions) / positions — the
+  // paper's ~5N counts the 4-byte chain entry plus the 1-byte SEQ code.
+  std::size_t index_dict_bytes = 0;   ///< dictionary bytes, both indexes
+  std::size_t index_chain_bytes = 0;  ///< chain bytes, both indexes
+  std::size_t index_positions = 0;    ///< bank positions covered by chains
   std::size_t masked_bases = 0;     ///< DUST-masked positions, both banks
   GappedStageStats gapped;
   std::size_t alignments = 0;
@@ -86,13 +94,27 @@ class Pipeline {
   [[nodiscard]] Result run(const seqio::SequenceBank& bank1,
                            const seqio::SequenceBank& bank2) const;
 
+  /// Same comparison with a prebuilt bank1 index (e.g. adopted from a
+  /// .scix store): step 1 only indexes bank2, and the result is
+  /// bit-identical to the two-bank overload when `idx1` was built with
+  /// this pipeline's settings (word length, stride 1, same DUST mask).
+  /// bank1 is never reverse-complemented, so one prebuilt index serves
+  /// every --strand mode.  Throws std::invalid_argument when idx1's word
+  /// length differs from the pipeline's effective W.
+  [[nodiscard]] Result run(const index::BankIndex& idx1,
+                           const seqio::SequenceBank& bank2) const;
+
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] const stats::KarlinParams& karlin() const { return karlin_; }
 
  private:
+  [[nodiscard]] Result run_strands(const seqio::SequenceBank& bank1,
+                                   const seqio::SequenceBank& bank2,
+                                   const index::BankIndex* prebuilt1) const;
   [[nodiscard]] Result run_single(const seqio::SequenceBank& bank1,
                                   const seqio::SequenceBank& bank2,
-                                  bool minus) const;
+                                  bool minus,
+                                  const index::BankIndex* prebuilt1) const;
 
   Options options_;
   stats::KarlinParams karlin_;

@@ -3,6 +3,9 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
+
+#include "store/format.hpp"
 
 namespace scoris::index {
 
@@ -25,9 +28,12 @@ BankIndex::BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
   const std::size_t n = codes.size();
   const int w = coder.w();
 
-  first_.assign(coder.num_seeds(), -1);
-  next_.assign(n, -1);
+  first_storage_.assign(coder.num_seeds(), -1);
+  next_storage_.assign(n, -1);
+  first_ = first_storage_;
+  next_ = next_storage_;
   indexed_ = filter::MaskBitmap(n);
+  if (options.mask != nullptr) masked_bases_ = options.mask->count();
   if (n < static_cast<std::size_t>(w)) return;
 
   // Walk sequences (and positions within them) from last to first so the
@@ -62,13 +68,35 @@ BankIndex::BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
           options.mask->any_in(p, static_cast<std::size_t>(w))) {
         continue;
       }
-      if (first_[code] < 0) ++distinct_seeds_;
-      next_[p] = first_[code];
-      first_[code] = static_cast<std::int32_t>(p);
+      if (first_storage_[code] < 0) ++distinct_seeds_;
+      next_storage_[p] = first_storage_[code];
+      first_storage_[code] = static_cast<std::int32_t>(p);
       indexed_.set(p);
       ++total_indexed_;
     }
   }
+}
+
+BankIndex BankIndex::adopt(const seqio::SequenceBank& bank,
+                           const SeedCoder& coder, AdoptedIndex parts) {
+  if (parts.first.size() != coder.num_seeds()) {
+    throw std::invalid_argument("BankIndex::adopt: dictionary size mismatch");
+  }
+  if (parts.next.size() != bank.data_size()) {
+    throw std::invalid_argument("BankIndex::adopt: chain size mismatch");
+  }
+  if (parts.indexed.size() != bank.data_size()) {
+    throw std::invalid_argument("BankIndex::adopt: bitmap size mismatch");
+  }
+  BankIndex idx(bank, coder, /*adopt_tag=*/0);
+  idx.owner_ = std::move(parts.owner);
+  idx.first_ = parts.first;
+  idx.next_ = parts.next;
+  idx.indexed_ = std::move(parts.indexed);
+  idx.total_indexed_ = parts.total_indexed;
+  idx.distinct_seeds_ = parts.distinct_seeds;
+  idx.masked_bases_ = parts.masked_bases;
+  return idx;
 }
 
 std::size_t BankIndex::occurrence_count(SeedCode code) const {
@@ -82,92 +110,71 @@ std::size_t BankIndex::occurrence_count(SeedCode code) const {
 
 namespace {
 
-constexpr char kIndexMagic[4] = {'S', 'C', 'O', 'I'};
-constexpr std::uint32_t kIndexVersion = 1;
-
-void write_u32(std::ostream& os, std::uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-std::uint32_t read_u32(std::istream& is) {
-  std::uint32_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw std::runtime_error("index load: truncated input");
-  return v;
-}
-std::uint64_t read_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw std::runtime_error("index load: truncated input");
-  return v;
-}
-
-template <typename T>
-void write_vec(std::ostream& os, const std::vector<T>& v) {
-  write_u64(os, v.size());
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& is) {
-  const std::uint64_t n = read_u64(is);
-  std::vector<T> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  if (!is) throw std::runtime_error("index load: truncated input");
-  return v;
-}
+constexpr store::Tag kIndexMagic = store::make_tag("SCOI");
+constexpr store::Tag kIndexSection = store::make_tag("INDX");
+constexpr std::uint32_t kIndexVersion = 2;
 
 }  // namespace
 
+void BankIndex::save_body(store::SectionWriter& section) const {
+  section.put_u64(total_indexed_);
+  section.put_u64(distinct_seeds_);
+  section.put_u64(masked_bases_);
+  section.put_array(first_);
+  section.put_array(next_);
+  section.put_array(std::span<const std::uint64_t>(indexed_.words()));
+  section.put_u64(indexed_.size());
+}
+
+BankIndex BankIndex::load_body(store::SectionReader& section,
+                               const seqio::SequenceBank& bank,
+                               const SeedCoder& coder,
+                               const std::string& what) {
+  AdoptedIndex parts;
+  parts.total_indexed = section.read_u64();
+  parts.distinct_seeds = section.read_u64();
+  parts.masked_bases = section.read_u64();
+  // Dictionary and chain stay in the section payload (the load path's big
+  // buffers); the bitmap is rebuilt because MaskBitmap owns its words.
+  parts.first = section.read_array_view<std::int32_t>();
+  parts.next = section.read_array_view<std::int32_t>();
+  auto words = section.read_array<std::uint64_t>();
+  const std::uint64_t bit_size = section.read_u64();
+  parts.indexed = filter::MaskBitmap::from_words(
+      std::move(words), static_cast<std::size_t>(bit_size));
+  parts.owner = section.payload_owner();
+  try {
+    return adopt(bank, coder, std::move(parts));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(what + ": " + e.what());
+  }
+}
+
 void BankIndex::save(std::ostream& os) const {
-  os.write(kIndexMagic, sizeof(kIndexMagic));
-  write_u32(os, kIndexVersion);
-  write_u32(os, static_cast<std::uint32_t>(coder_.w()));
-  write_u64(os, bank_->data_size());
-  write_vec(os, first_);
-  write_vec(os, next_);
-  write_vec(os, indexed_.words());
-  write_u64(os, indexed_.size());
-  write_u64(os, total_indexed_);
-  write_u64(os, distinct_seeds_);
+  store::write_header(os, kIndexMagic, kIndexVersion);
+  store::SectionWriter section(kIndexSection);
+  section.put_u32(static_cast<std::uint32_t>(coder_.w()));
+  section.put_u64(bank_->data_size());
+  save_body(section);
+  section.finish(os);
   if (!os) throw std::runtime_error("index save: write failed");
 }
 
 BankIndex BankIndex::load(std::istream& is, const seqio::SequenceBank& bank) {
-  char magic[4] = {};
-  is.read(magic, sizeof(magic));
-  if (!is || magic[0] != 'S' || magic[1] != 'C' || magic[2] != 'O' ||
-      magic[3] != 'I') {
-    throw std::runtime_error("index load: bad magic");
+  const std::string what = "index load";
+  store::read_header(is, kIndexMagic, kIndexVersion, what);
+  store::SectionReader section(is, what);
+  if (!section.is(kIndexSection)) {
+    throw std::runtime_error(what + ": unexpected " + section.tag_name() +
+                             " section");
   }
-  const std::uint32_t version = read_u32(is);
-  if (version != kIndexVersion) {
-    throw std::runtime_error("index load: unsupported version");
-  }
-  const auto w = static_cast<int>(read_u32(is));
-  const std::uint64_t data_size = read_u64(is);
+  const auto w = static_cast<int>(section.read_u32());
+  const std::uint64_t data_size = section.read_u64();
   if (data_size != bank.data_size()) {
     throw std::runtime_error(
-        "index load: bank size mismatch (index built for another bank?)");
+        what + ": bank size mismatch (index built for another bank?)");
   }
-  BankIndex idx(bank, SeedCoder(w), /*load_tag=*/0);
-  idx.first_ = read_vec<std::int32_t>(is);
-  idx.next_ = read_vec<std::int32_t>(is);
-  auto words = read_vec<std::uint64_t>(is);
-  const std::uint64_t bit_size = read_u64(is);
-  idx.indexed_ = filter::MaskBitmap::from_words(std::move(words),
-                                                static_cast<std::size_t>(bit_size));
-  idx.total_indexed_ = read_u64(is);
-  idx.distinct_seeds_ = read_u64(is);
-  if (idx.first_.size() != idx.coder_.num_seeds() ||
-      idx.next_.size() != bank.data_size()) {
-    throw std::runtime_error("index load: inconsistent array sizes");
-  }
-  return idx;
+  return load_body(section, bank, SeedCoder(w), what);
 }
 
 }  // namespace scoris::index

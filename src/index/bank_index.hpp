@@ -11,15 +11,27 @@
 //  * a low-complexity mask: masked words are not chained (section 2.1);
 //  * stride-2 subsampling ("asymmetric indexing" of 10-nt words, section
 //    3.4): only every other word of the bank is indexed.
+//
+// The dictionary and chain live behind spans: an index either owns its
+// buffers (built by the constructor) or *adopts* externally owned ones
+// (deserialized from a .scix store, or — later — a 2-bit-packed chain
+// experiment) without copying or re-scanning the bank.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "filter/mask.hpp"
 #include "index/seed_coder.hpp"
 #include "seqio/sequence_bank.hpp"
+
+namespace scoris::store {
+class SectionReader;
+class SectionWriter;
+}  // namespace scoris::store
 
 namespace scoris::index {
 
@@ -31,6 +43,19 @@ struct IndexOptions {
   const filter::MaskBitmap* mask = nullptr;  ///< optional soft mask
 };
 
+/// Prebuilt index buffers handed to BankIndex::adopt. `first`/`next` may
+/// point into memory owned elsewhere; `owner` keeps that memory alive for
+/// the index's lifetime.
+struct AdoptedIndex {
+  std::span<const std::int32_t> first;  ///< 4^W entries, -1 = absent
+  std::span<const std::int32_t> next;   ///< one per bank data position
+  filter::MaskBitmap indexed;           ///< word-start membership bitmap
+  std::size_t total_indexed = 0;
+  std::size_t distinct_seeds = 0;
+  std::size_t masked_bases = 0;  ///< mask popcount at build time
+  std::shared_ptr<const void> owner;  ///< keep-alive for first/next
+};
+
 class BankIndex {
  public:
   /// Build the index for `bank` with word length `coder.w()`.
@@ -38,6 +63,19 @@ class BankIndex {
   /// W > 13 (dictionary would exceed 1 GiB).
   BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
             const IndexOptions& options = {});
+
+  /// Wrap prebuilt buffers without re-scanning the bank. Sizes are
+  /// validated against the bank and coder (std::invalid_argument).
+  [[nodiscard]] static BankIndex adopt(const seqio::SequenceBank& bank,
+                                       const SeedCoder& coder,
+                                       AdoptedIndex parts);
+
+  // Spans into owned storage make copies unsafe; the pipeline only ever
+  // builds in place or moves.
+  BankIndex(const BankIndex&) = delete;
+  BankIndex& operator=(const BankIndex&) = delete;
+  BankIndex(BankIndex&&) = default;
+  BankIndex& operator=(BankIndex&&) = default;
 
   [[nodiscard]] const seqio::SequenceBank& bank() const { return *bank_; }
   [[nodiscard]] const SeedCoder& coder() const { return coder_; }
@@ -79,10 +117,33 @@ class BankIndex {
   /// Number of distinct seeds present in the bank.
   [[nodiscard]] std::size_t distinct_seeds() const { return distinct_seeds_; }
 
+  /// Positions excluded by the build-time soft mask (0 when unmasked).
+  /// Recorded so a deserialized index reports the same --stats numbers as
+  /// a fresh build without rerunning DUST.
+  [[nodiscard]] std::size_t masked_bases() const { return masked_bases_; }
+
+  /// Bytes of the 4^W first-occurrence dictionary.
+  [[nodiscard]] std::size_t dictionary_bytes() const {
+    return first_.size() * sizeof(std::int32_t);
+  }
+
+  /// Bytes of the per-position occurrence chain (the paper's INDEX array).
+  [[nodiscard]] std::size_t chain_bytes() const {
+    return next_.size() * sizeof(std::int32_t);
+  }
+
   /// Bytes held by the index structures (dictionary + chain).
   [[nodiscard]] std::size_t memory_bytes() const {
-    return first_.capacity() * sizeof(std::int32_t) +
-           next_.capacity() * sizeof(std::int32_t);
+    return dictionary_bytes() + chain_bytes();
+  }
+
+  /// Raw buffer access (serialization).
+  [[nodiscard]] std::span<const std::int32_t> dictionary() const {
+    return first_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> chain() const { return next_; }
+  [[nodiscard]] const filter::MaskBitmap& indexed_bitmap() const {
+    return indexed_;
   }
 
   /// Serialize the index (magic "SCOI"). The bank itself is not stored;
@@ -94,18 +155,38 @@ class BankIndex {
   [[nodiscard]] static BankIndex load(std::istream& is,
                                       const seqio::SequenceBank& bank);
 
+  /// Append the index body — counters, dictionary, chain, word-start
+  /// bitmap — to a section.  One layout shared by the bare .scoi format
+  /// and the .scix store's INDX payloads.
+  void save_body(store::SectionWriter& section) const;
+
+  /// Read a body written by save_body and adopt its buffers: dictionary
+  /// and chain become zero-copy views pinned by the section's payload
+  /// owner.  `what` prefixes diagnostics; throws std::runtime_error when
+  /// the body does not fit `bank`/`coder`.
+  [[nodiscard]] static BankIndex load_body(store::SectionReader& section,
+                                           const seqio::SequenceBank& bank,
+                                           const SeedCoder& coder,
+                                           const std::string& what);
+
  private:
   BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
-            int /*load_tag*/)
+            int /*adopt_tag*/)
       : bank_(&bank), coder_(coder) {}
 
   const seqio::SequenceBank* bank_;
   SeedCoder coder_;
-  std::vector<std::int32_t> first_;  // 4^W entries, -1 = absent
-  std::vector<std::int32_t> next_;   // one per bank data position, -1 = end
-  filter::MaskBitmap indexed_;       // word-start membership bitmap
+  // Owned storage when built in place; empty when adopting, in which case
+  // owner_ pins the external memory behind the spans.
+  std::vector<std::int32_t> first_storage_;
+  std::vector<std::int32_t> next_storage_;
+  std::shared_ptr<const void> owner_;
+  std::span<const std::int32_t> first_;  // 4^W entries, -1 = absent
+  std::span<const std::int32_t> next_;   // one per bank data position
+  filter::MaskBitmap indexed_;           // word-start membership bitmap
   std::size_t total_indexed_ = 0;
   std::size_t distinct_seeds_ = 0;
+  std::size_t masked_bases_ = 0;
 };
 
 }  // namespace scoris::index

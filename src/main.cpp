@@ -1,5 +1,6 @@
-// Entry point of the `scoris` binary. All logic lives in cli/cli.cpp so the
-// test suite can drive the driver in-process.
+// Entry point of the `scoris` binary (flat compare plus the `index` and
+// `search` subcommands). All logic lives in cli/cli.cpp so the test suite
+// can drive the driver in-process.
 #include <iostream>
 
 #include "cli/cli.hpp"

@@ -1,85 +1,52 @@
 #include "seqio/serialize.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "store/format.hpp"
+
 namespace scoris::seqio {
 namespace {
 
-constexpr char kMagic[4] = {'S', 'C', 'O', 'B'};
-constexpr std::uint32_t kVersion = 1;
-
-void write_u32(std::ostream& os, std::uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-std::uint32_t read_u32(std::istream& is) {
-  std::uint32_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw std::runtime_error("bank load: truncated input");
-  return v;
-}
-std::uint64_t read_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw std::runtime_error("bank load: truncated input");
-  return v;
-}
+// The .scob container is the store/format.hpp skeleton: a shared header
+// (magic + version + endianness, future versions rejected explicitly) and
+// one CRC-protected SEQS section holding names and code strings. Sentinels
+// are rebuilt by add_codes on load so the result is byte-identical to
+// re-adding every sequence.
+constexpr store::Tag kBankMagic = store::make_tag("SCOB");
+constexpr store::Tag kSeqsSection = store::make_tag("SEQS");
+constexpr std::uint32_t kBankVersion = 2;
 
 }  // namespace
 
 void save_bank(std::ostream& os, const SequenceBank& bank) {
-  os.write(kMagic, sizeof(kMagic));
-  write_u32(os, kVersion);
-  write_u32(os, static_cast<std::uint32_t>(bank.name().size()));
-  os.write(bank.name().data(),
-           static_cast<std::streamsize>(bank.name().size()));
-  write_u64(os, bank.size());
+  store::write_header(os, kBankMagic, kBankVersion);
+  store::SectionWriter section(kSeqsSection);
+  section.put_string(bank.name());
+  section.put_u64(bank.size());
   for (std::size_t i = 0; i < bank.size(); ++i) {
-    const auto& name = bank.seq_name(i);
-    write_u32(os, static_cast<std::uint32_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const auto codes = bank.codes(i);
-    write_u64(os, codes.size());
-    os.write(reinterpret_cast<const char*>(codes.data()),
-             static_cast<std::streamsize>(codes.size()));
+    section.put_string(bank.seq_name(i));
+    section.put_array(bank.codes(i));
   }
+  section.finish(os);
   if (!os) throw std::runtime_error("bank save: write failed");
 }
 
 SequenceBank load_bank(std::istream& is) {
-  char magic[4] = {};
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("bank load: bad magic");
+  const std::string what = "bank load";
+  store::read_header(is, kBankMagic, kBankVersion, what);
+  store::SectionReader section(is, what);
+  if (!section.is(kSeqsSection)) {
+    throw std::runtime_error(what + ": unexpected " + section.tag_name() +
+                             " section");
   }
-  const std::uint32_t version = read_u32(is);
-  if (version != kVersion) {
-    throw std::runtime_error("bank load: unsupported version " +
-                             std::to_string(version));
-  }
-  const std::uint32_t name_len = read_u32(is);
-  std::string bank_name(name_len, '\0');
-  is.read(bank_name.data(), name_len);
-  SequenceBank bank(bank_name);
-
-  const std::uint64_t nseq = read_u64(is);
-  std::string name;
-  std::basic_string<Code> codes;
+  SequenceBank bank(section.read_string());
+  const std::uint64_t nseq = section.read_u64();
   for (std::uint64_t i = 0; i < nseq; ++i) {
-    const std::uint32_t nlen = read_u32(is);
-    name.resize(nlen);
-    is.read(name.data(), nlen);
-    const std::uint64_t clen = read_u64(is);
-    codes.resize(clen);
-    is.read(reinterpret_cast<char*>(codes.data()),
-            static_cast<std::streamsize>(clen));
-    if (!is) throw std::runtime_error("bank load: truncated input");
+    const std::string name = section.read_string();
+    const auto codes = section.read_array<Code>();
     bank.add_codes(name, codes);
   }
   return bank;

@@ -12,6 +12,7 @@
 
 #include "cli/cli.hpp"
 #include "compare/m8.hpp"
+#include "test_helpers.hpp"
 
 namespace {
 
@@ -46,9 +47,15 @@ CliResult run_cli(std::vector<std::string> argv_strings) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // ctest runs every case as its own concurrent process; file names must
+    // be per-test-unique or parallel cases clobber each other's fixtures.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
     dir_ = ::testing::TempDir();
-    bank1_ = dir_ + "cli_bank1.fa";
-    bank2_ = dir_ + "cli_bank2.fa";
+    const std::string prefix =
+        dir_ + std::string(info->test_suite_name()) + "_" + info->name();
+    bank1_ = prefix + "_bank1.fa";
+    bank2_ = prefix + "_bank2.fa";
     // qA matches sX exactly over 100 bases (with an internal repeat), qB
     // shares a 40-base region with sY; qC matches nothing.
     write_file(bank1_,
@@ -275,6 +282,207 @@ TEST_F(CliTest, DustFalseSpellingDisablesDust) {
   ASSERT_TRUE(scoris::cli::parse_cli(static_cast<int>(argv.size()),
                                      argv.data(), config, err));
   EXPECT_FALSE(config.dust);
+}
+
+// --- index / search subcommands ---------------------------------------------
+
+class CliStoreTest : public CliTest {
+ protected:
+  void SetUp() override {
+    CliTest::SetUp();
+    scix_ = bank1_ + ".scix";  // inherits the per-test-unique prefix
+  }
+
+  void TearDown() override {
+    std::remove(scix_.c_str());
+    CliTest::TearDown();
+  }
+
+  /// `scoris index` over bank1_, asserting success.
+  void build_artifact(std::vector<std::string> extra = {}) {
+    std::vector<std::string> argv = {"index", "--bank", bank1_, "--out",
+                                     scix_};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    const CliResult r = run_cli(argv);
+    ASSERT_EQ(r.exit_code, kOk) << r.err;
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  }
+
+  std::string scix_;
+};
+
+TEST_F(CliStoreTest, SearchFromArtifactByteIdenticalToFasta) {
+  // The acceptance case: `scoris search --index ref.scix` must produce
+  // byte-identical m8 output to the equivalent FASTA invocation, single-
+  // and multi-threaded.
+  build_artifact();
+  const CliResult flat =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--threads", "1"});
+  ASSERT_EQ(flat.exit_code, kOk) << flat.err;
+  ASSERT_FALSE(flat.out.empty());
+
+  const CliResult search1 =
+      run_cli({"search", "--index", scix_, "--bank2", bank2_, "--threads",
+               "1"});
+  const CliResult search4 =
+      run_cli({"search", "--index", scix_, "--bank2", bank2_, "--threads",
+               "4"});
+  ASSERT_EQ(search1.exit_code, kOk) << search1.err;
+  ASSERT_EQ(search4.exit_code, kOk) << search4.err;
+  EXPECT_EQ(search1.out, flat.out);
+  EXPECT_EQ(search4.out, flat.out);
+}
+
+TEST_F(CliStoreTest, SearchBothStrandsMatchesFlat) {
+  build_artifact();
+  const CliResult flat = run_cli(
+      {"--bank1", bank1_, "--bank2", bank2_, "--strand", "both"});
+  const CliResult search = run_cli({"search", "--index", scix_, "--bank2",
+                                    bank2_, "--strand", "both"});
+  ASSERT_EQ(search.exit_code, kOk) << search.err;
+  EXPECT_EQ(search.out, flat.out);
+}
+
+TEST_F(CliStoreTest, AsymmetricSearchUsesW10Artifact) {
+  build_artifact({"--w", "10"});
+  const CliResult flat = run_cli(
+      {"--bank1", bank1_, "--bank2", bank2_, "--asymmetric"});
+  const CliResult search = run_cli(
+      {"search", "--index", scix_, "--bank2", bank2_, "--asymmetric"});
+  ASSERT_EQ(search.exit_code, kOk) << search.err;
+  EXPECT_EQ(search.out, flat.out);
+}
+
+TEST_F(CliStoreTest, MemoryBudgetStreamingMatchesUnchunked) {
+  build_artifact();
+  const CliResult whole =
+      run_cli({"search", "--index", scix_, "--bank2", bank2_});
+  // 1 MB cannot hold the 16 MB W=11 dictionary, forcing per-sequence
+  // slices of bank2; output must not change.
+  const CliResult chunked = run_cli({"search", "--index", scix_, "--bank2",
+                                     bank2_, "--memory-budget-mb", "1"});
+  ASSERT_EQ(whole.exit_code, kOk) << whole.err;
+  ASSERT_EQ(chunked.exit_code, kOk) << chunked.err;
+  EXPECT_EQ(chunked.out, whole.out);
+}
+
+TEST_F(CliStoreTest, CorruptedArtifactExitsOneNamingSection) {
+  build_artifact();
+  std::string blob = slurp(scix_);
+  ASSERT_TRUE(scoris::testing::corrupt_section(blob, "INDX"));
+  write_file(scix_, blob);
+
+  const CliResult r =
+      run_cli({"search", "--index", scix_, "--bank2", bank2_});
+  EXPECT_EQ(r.exit_code, kRuntimeError);
+  EXPECT_NE(r.err.find("INDX"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("checksum"), std::string::npos) << r.err;
+}
+
+TEST_F(CliStoreTest, SettingsMismatchExitsOneWithDiagnostic) {
+  build_artifact({"--w", "9"});
+  const CliResult wrong_w =
+      run_cli({"search", "--index", scix_, "--bank2", bank2_, "--w", "11"});
+  EXPECT_EQ(wrong_w.exit_code, kRuntimeError);
+  EXPECT_NE(wrong_w.err.find("no index payload"), std::string::npos)
+      << wrong_w.err;
+  EXPECT_NE(wrong_w.err.find("w=11"), std::string::npos) << wrong_w.err;
+
+  const CliResult wrong_dust = run_cli(
+      {"search", "--index", scix_, "--bank2", bank2_, "--w", "9",
+       "--no-dust"});
+  EXPECT_EQ(wrong_dust.exit_code, kRuntimeError);
+  EXPECT_NE(wrong_dust.err.find("no index payload"), std::string::npos)
+      << wrong_dust.err;
+}
+
+TEST_F(CliStoreTest, MissingArtifactExitsOne) {
+  const CliResult r = run_cli(
+      {"search", "--index", dir_ + "missing.scix", "--bank2", bank2_});
+  EXPECT_EQ(r.exit_code, kRuntimeError);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliStoreTest, SubcommandUsageErrorsExitTwo) {
+  // index: missing --out, missing bank, unknown flag, w out of range.
+  EXPECT_EQ(run_cli({"index", "--bank", bank1_}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"index", "--out", scix_}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"index", "--bank", bank1_, "--out", scix_,
+                     "--frobnicate"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"index", "--bank", bank1_, "--out", scix_, "--w",
+                     "14"})
+                .exit_code,
+            kUsage);
+  // Stride payloads are a library-API feature; the CLI must not offer a
+  // flag that builds artifacts `search` can never consume.
+  EXPECT_EQ(run_cli({"index", "--bank", bank1_, "--out", scix_, "--stride",
+                     "2"})
+                .exit_code,
+            kUsage);
+  // search: missing inputs, unknown flag, bad budget.
+  EXPECT_EQ(run_cli({"search", "--bank2", bank2_}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"search", "--index", scix_}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"search", "--index", scix_, "--bank2", bank2_,
+                     "--bank1", bank1_})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"search", "--index", scix_, "--bank2", bank2_,
+                     "--memory-budget-mb", "0"})
+                .exit_code,
+            kUsage);
+  // W=14 exists for the flat form but no artifact can hold it; reject at
+  // parse time rather than failing the payload lookup at runtime.
+  EXPECT_EQ(run_cli({"search", "--index", scix_, "--bank2", bank2_, "--w",
+                     "14"})
+                .exit_code,
+            kUsage);
+
+  const CliResult r = run_cli({"index"});
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliStoreTest, SubcommandHelpExitsZero) {
+  const CliResult index_help = run_cli({"index", "--help"});
+  EXPECT_EQ(index_help.exit_code, kOk);
+  EXPECT_NE(index_help.out.find("usage:"), std::string::npos);
+
+  const CliResult search_help = run_cli({"search", "--help"});
+  EXPECT_EQ(search_help.exit_code, kOk);
+  EXPECT_NE(search_help.out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliStoreTest, IndexStatsSummarizesBuild) {
+  const CliResult r = run_cli(
+      {"index", "--bank", bank1_, "--out", scix_, "--stats"});
+  ASSERT_EQ(r.exit_code, kOk) << r.err;
+  EXPECT_NE(r.err.find("scoris index:"), std::string::npos);
+  EXPECT_NE(r.err.find("w=11"), std::string::npos);
+}
+
+TEST_F(CliStoreTest, SearchStatsReportIndexMemory) {
+  build_artifact();
+  const CliResult r = run_cli(
+      {"search", "--index", scix_, "--bank2", bank2_, "--stats"});
+  ASSERT_EQ(r.exit_code, kOk) << r.err;
+  EXPECT_NE(r.err.find("index memory:"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("bytes/position"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, FlatStatsReportIndexMemory) {
+  const CliResult r = run_cli(
+      {"--bank1", bank1_, "--bank2", bank2_, "--stats"});
+  ASSERT_EQ(r.exit_code, kOk) << r.err;
+  EXPECT_NE(r.err.find("index memory:"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("dictionaries"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("bytes/position"), std::string::npos) << r.err;
 }
 
 #ifdef SCORIS_CLI_PATH

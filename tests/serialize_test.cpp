@@ -73,6 +73,40 @@ TEST(BankSerialize, RejectsTruncated) {
   EXPECT_THROW((void)seqio::load_bank(cut), std::runtime_error);
 }
 
+TEST(BankSerialize, RejectsFutureVersionExplicitly) {
+  const auto bank = make_bank(708, 2);
+  std::stringstream buf;
+  seqio::save_bank(buf, bank);
+  std::string blob = buf.str();
+  blob[4] = 99;  // version u32 starts right after the 4-byte magic
+  std::stringstream patched(blob);
+  try {
+    (void)seqio::load_bank(patched);
+    FAIL() << "bank from the future accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos);
+  }
+}
+
+TEST(BankSerialize, RejectsCorruptPayloadByChecksum) {
+  const auto bank = make_bank(710, 3);
+  std::stringstream buf;
+  seqio::save_bank(buf, bank);
+  std::string blob = buf.str();
+  // Flip one byte in the middle of the SEQS payload (header is 12 bytes,
+  // section framing 16): without the CRC this would load as a silently
+  // different bank.
+  blob[blob.size() / 2] ^= 0x01;
+  std::stringstream patched(blob);
+  try {
+    (void)seqio::load_bank(patched);
+    FAIL() << "corrupt bank accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
 TEST(IndexSerialize, RoundTripBehavesIdentically) {
   const auto bank = make_bank(709, 6);
   const index::SeedCoder coder(9);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <string>
@@ -22,6 +23,34 @@ using CodeStr = std::basic_string<seqio::Code>;
 
 inline CodeStr codes_of(std::string_view bases) {
   return seqio::encode(bases);
+}
+
+/// Flip one payload byte of the first section tagged `tag` (skipping
+/// `occurrence` earlier matches) in a store/format.hpp container blob —
+/// header `[magic 4][version u32][endian u32]`, then sections
+/// `[tag 4][len u64][crc u32][payload]`.  Returns false when no such
+/// section (with a non-empty payload) exists, leaving the blob unchanged.
+inline bool corrupt_section(std::string& blob, std::string_view tag,
+                            std::size_t occurrence = 0) {
+  std::size_t pos = 12;
+  while (pos + 16 <= blob.size()) {
+    const std::string_view found(blob.data() + pos, 4);
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i) {
+      len |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(blob[pos + 4 + i]))
+             << (8 * i);
+    }
+    if (found == tag && len > 0) {
+      if (occurrence == 0) {
+        blob[pos + 16 + len / 2] ^= 0x01;
+        return true;
+      }
+      --occurrence;
+    }
+    pos += 16 + len;
+  }
+  return false;
 }
 
 /// All maximal ungapped local alignments ("HSPs") between a and b that
