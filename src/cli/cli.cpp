@@ -33,7 +33,8 @@ const std::vector<std::string>& known_flags() {
   static const std::vector<std::string> kKnown = {
       "bank1",   "bank2",      "out",   "w",       "threads",
       "strand",  "evalue",     "dust",  "no-dust", "asymmetric",
-      "s1",      "stats",      "help",  "version",
+      "s1",      "stats",      "help",  "version", "shards",
+      "schedule",
   };
   return kKnown;
 }
@@ -43,7 +44,8 @@ const std::vector<std::string>& known_search_flags() {
       "index",   "bank2",  "out",     "w",
       "threads", "strand", "evalue",  "dust",
       "no-dust", "asymmetric", "s1",  "stats",
-      "memory-budget-mb", "help",
+      "memory-budget-mb", "help",     "shards",
+      "schedule",
   };
   return kKnown;
 }
@@ -164,6 +166,16 @@ bool parse_search_options(const util::Args& args, CliConfig& config,
     return false;
   }
 
+  if (!parse_size_flag(args, "shards", 0, 1000000, config.shards, err)) {
+    return false;
+  }
+  config.schedule = args.get("schedule", config.schedule);
+  if (config.schedule != "static" && config.schedule != "stealing") {
+    err << "error: --schedule must be static or stealing, got '"
+        << config.schedule << "'\n";
+    return false;
+  }
+
   config.dust = args.get_flag("dust", true);
   if (args.get_flag("no-dust")) config.dust = false;
   config.asymmetric = args.get_flag("asymmetric");
@@ -175,6 +187,10 @@ core::Options pipeline_options(const CliConfig& config) {
   core::Options options;
   options.w = config.w;
   options.threads = config.threads;
+  options.shards = config.shards;
+  options.schedule = config.schedule == "static"
+                         ? util::Schedule::kStatic
+                         : util::Schedule::kStealing;
   options.min_hsp_score = config.min_hsp_score;
   options.max_evalue = config.max_evalue;
   options.dust = config.dust;
@@ -205,6 +221,17 @@ void print_stats(std::ostream& err, const core::PipelineStats& s,
       << " positions (" << std::fixed << std::setprecision(2) << per_pos
       << " bytes/position incl. SEQ)\n"
       << std::defaultfloat << std::setprecision(6);
+  // Scheduler balance: the spread of step-2 shard wall times.  A max far
+  // above the median means one seed-code range dominated the step.
+  const auto& b = s.shard_balance;
+  if (b.shards > 0) {
+    err << "  step2 shards: " << b.shards << ", wall min/median/max "
+        << std::fixed << std::setprecision(4) << b.min_seconds << "/"
+        << b.median_seconds << "/" << b.max_seconds << " s ("
+        << std::setprecision(2) << b.total_seconds
+        << " s CPU total)\n"
+        << std::defaultfloat << std::setprecision(6);
+  }
 }
 
 /// Open config.out_path (or fall back to `out`) before the potentially
@@ -382,6 +409,9 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "  --out FILE      write m8 output to FILE (default: stdout)\n"
      << "  --w N           seed length, 4..14 (default 11)\n"
      << "  --threads N     worker threads for steps 2-3 (default 1)\n"
+     << "  --shards N      step-2 seed-code shards per strand/slice group\n"
+     << "                  (default 0 = auto; output-invariant)\n"
+     << "  --schedule S    shard scheduler: stealing (default) or static\n"
      << "  --strand S      plus (default, paper's -S 1), minus, or both\n"
      << "  --evalue E      e-value cutoff (default 1e-3)\n"
      << "  --dust BOOL     low-complexity filter (default true)\n"
@@ -429,6 +459,9 @@ void print_search_usage(std::ostream& os, const std::string& program) {
      << "  --out FILE      write m8 output to FILE (default: stdout)\n"
      << "  --w N           seed length; must match the artifact (default 11)\n"
      << "  --threads N     worker threads for steps 2-3 (default 1)\n"
+     << "  --shards N      step-2 seed-code shards per strand/slice group\n"
+     << "                  (default 0 = auto; output-invariant)\n"
+     << "  --schedule S    shard scheduler: stealing (default) or static\n"
      << "  --strand S      plus (default), minus, or both\n"
      << "  --evalue E      e-value cutoff (default 1e-3)\n"
      << "  --dust BOOL / --no-dust   must match the artifact (default true)\n"

@@ -33,6 +33,9 @@ struct CliConfig {
   std::string out_path;    ///< empty = stdout
   int w = 11;
   int threads = 1;
+  /// Step-2 seed-code shards per (strand x slice) group; 0 = auto.
+  std::size_t shards = 0;
+  std::string schedule = "stealing";  ///< static | stealing
   int min_hsp_score = 25;
   double max_evalue = 1e-3;
   std::string strand = "plus";  ///< plus | minus | both

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <tuple>
 
 namespace scoris::core {
 
@@ -24,83 +23,42 @@ seqio::SequenceBank slice_bank(const seqio::SequenceBank& bank,
   return out;
 }
 
-namespace {
-
-/// Shared slicing loop: `run_slice` maps one bank2 slice to a pipeline
-/// Result; `bytes1` is the memory the bank1 side already occupies.
-template <typename RunSlice>
-ChunkedResult run_chunked_impl(std::size_t bytes1,
-                               const seqio::SequenceBank& bank2,
-                               const ChunkedOptions& options,
-                               RunSlice&& run_slice) {
+std::vector<exec::SliceRange> plan_budget_slices(
+    std::size_t bank1_bytes, const seqio::SequenceBank& bank2,
+    const ChunkedOptions& options) {
   const int w = options.pipeline.effective_w();
   const std::size_t bytes2 = estimated_index_bytes(bank2, w);
 
-  ChunkedResult result;
   std::size_t chunks = 1;
-  if (bytes1 + bytes2 > options.memory_budget_bytes && bank2.size() > 1) {
-    const std::size_t room =
-        options.memory_budget_bytes > bytes1
-            ? options.memory_budget_bytes - bytes1
-            : 1;
-    chunks = std::min<std::size_t>(bank2.size(),
-                                   (bytes2 + room - 1) / std::max<std::size_t>(1, room));
+  if (bank1_bytes + bytes2 > options.memory_budget_bytes &&
+      bank2.size() > 1) {
+    const std::size_t room = options.memory_budget_bytes > bank1_bytes
+                                 ? options.memory_budget_bytes - bank1_bytes
+                                 : 1;
+    chunks = std::min<std::size_t>(
+        bank2.size(),
+        (bytes2 + room - 1) / std::max<std::size_t>(1, room));
     chunks = std::max<std::size_t>(1, chunks);
   }
   chunks = std::max(chunks, std::max<std::size_t>(1, options.min_chunks));
   chunks = std::min(chunks, std::max<std::size_t>(1, bank2.size()));
 
   const std::size_t per_chunk = (bank2.size() + chunks - 1) / chunks;
-
+  std::vector<exec::SliceRange> slices;
   for (std::size_t from = 0; from < bank2.size(); from += per_chunk) {
-    const std::size_t to = std::min(bank2.size(), from + per_chunk);
-    const seqio::SequenceBank slice = slice_bank(bank2, from, to);
-    Result part = run_slice(slice);
-    ++result.chunks;
-
-    // Remap subject ids and global positions back to bank2.
-    for (auto& a : part.alignments) {
-      const std::size_t orig_seq = a.seq2 + from;
-      const seqio::Pos delta_src = slice.offset(a.seq2);
-      const seqio::Pos delta_dst = bank2.offset(orig_seq);
-      a.seq2 = static_cast<std::uint32_t>(orig_seq);
-      a.s2 = a.s2 - delta_src + delta_dst;
-      a.e2 = a.e2 - delta_src + delta_dst;
-      result.alignments.push_back(a);
-    }
-
-    // Accumulate statistics.
-    auto& s = result.stats;
-    const auto& p = part.stats;
-    s.index_seconds += p.index_seconds;
-    s.hsp_seconds += p.hsp_seconds;
-    s.gapped_seconds += p.gapped_seconds;
-    s.total_seconds += p.total_seconds;
-    s.hit_pairs += p.hit_pairs;
-    s.order_aborts += p.order_aborts;
-    s.hsps += p.hsps;
-    s.duplicate_hsps += p.duplicate_hsps;
-    s.index_bytes = std::max(s.index_bytes, p.index_bytes);
-    s.index_dict_bytes = std::max(s.index_dict_bytes, p.index_dict_bytes);
-    s.index_chain_bytes = std::max(s.index_chain_bytes, p.index_chain_bytes);
-    s.index_positions = std::max(s.index_positions, p.index_positions);
-    s.masked_bases += p.masked_bases;
-    s.gapped.hsps_in += p.gapped.hsps_in;
-    s.gapped.skipped_contained += p.gapped.skipped_contained;
-    s.gapped.gapped_extensions += p.gapped.gapped_extensions;
-    s.gapped.below_cutoff += p.gapped.below_cutoff;
-    s.gapped.exact_duplicates += p.gapped.exact_duplicates;
+    slices.push_back({from, std::min(bank2.size(), from + per_chunk)});
   }
+  if (slices.empty()) slices.push_back({0, 0});
+  return slices;
+}
 
-  std::sort(result.alignments.begin(), result.alignments.end(),
-            [](const align::GappedAlignment& x,
-               const align::GappedAlignment& y) {
-              return std::tuple(x.evalue, -x.bitscore, x.seq1, x.s1, x.seq2,
-                                x.s2, x.minus) <
-                     std::tuple(y.evalue, -y.bitscore, y.seq1, y.s1, y.seq2,
-                                y.s2, y.minus);
-            });
-  result.stats.alignments = result.alignments.size();
+namespace {
+
+ChunkedResult to_chunked(Result&& part, std::size_t chunks) {
+  ChunkedResult result;
+  result.alignments = std::move(part.alignments);
+  result.stats = std::move(part.stats);
+  result.chunks = chunks;
   return result;
 }
 
@@ -112,11 +70,9 @@ ChunkedResult run_chunked(const seqio::SequenceBank& bank1,
   const Pipeline pipeline(options.pipeline);
   const std::size_t bytes1 =
       estimated_index_bytes(bank1, options.pipeline.effective_w());
-  return run_chunked_impl(
-      bytes1, bank2, options,
-      [&](const seqio::SequenceBank& slice) {
-        return pipeline.run(bank1, slice);
-      });
+  const auto slices = plan_budget_slices(bytes1, bank2, options);
+  return to_chunked(pipeline.run_sliced(bank1, bank2, slices),
+                    slices.size());
 }
 
 ChunkedResult run_chunked(const index::BankIndex& idx1,
@@ -127,11 +83,9 @@ ChunkedResult run_chunked(const index::BankIndex& idx1,
   // bank itself holds, mirroring estimated_index_bytes's N * (4 + 1).
   const std::size_t bytes1 =
       idx1.memory_bytes() + idx1.bank().data_size() * sizeof(seqio::Code);
-  return run_chunked_impl(
-      bytes1, bank2, options,
-      [&](const seqio::SequenceBank& slice) {
-        return pipeline.run(idx1, slice);
-      });
+  const auto slices = plan_budget_slices(bytes1, bank2, options);
+  return to_chunked(pipeline.run_sliced(idx1, bank2, slices),
+                    slices.size());
 }
 
 }  // namespace scoris::core

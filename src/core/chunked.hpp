@@ -3,11 +3,13 @@
 // The paper bounds bank size by available memory (section 3.1: the index
 // costs ~5 N bytes per bank, so "comparing two chromosomes of 40 MBytes
 // will require, at least, a free memory space of 400 MBytes").  When the
-// banks do not fit the budget, this driver slices bank2 into sequence
-// ranges, runs the ordinary pipeline per slice, and remaps results back to
-// the original bank's coordinates.  Because ORIS statistics use
-// |bank1| x |subject sequence| as the search space and sequences are never
-// split, the merged result is bit-identical to an unchunked run.
+// banks do not fit the budget, this driver cuts bank2 into sequence
+// ranges and hands the slice list to the exec engine (Pipeline::
+// run_sliced), which processes one slice index at a time and remaps
+// results back to the original bank's coordinates.  Because ORIS
+// statistics use |bank1| x |subject sequence| as the search space and
+// sequences are never split, the merged result is bit-identical to an
+// unchunked run.
 #pragma once
 
 #include "core/pipeline.hpp"
@@ -36,8 +38,18 @@ struct ChunkedResult {
     const seqio::SequenceBank& bank, int w);
 
 /// Copy a contiguous sequence range [from, to) of a bank into a new bank.
+/// `from == to` yields an empty bank.
 [[nodiscard]] seqio::SequenceBank slice_bank(const seqio::SequenceBank& bank,
                                              std::size_t from, std::size_t to);
+
+/// The budget-driven slice plan both run_chunked overloads hand to the
+/// exec engine: bank2 is cut into the fewest contiguous sequence ranges
+/// whose estimated slice index fits next to `bank1_bytes` under the
+/// budget (at least options.min_chunks slices, never more than one per
+/// sequence).  An empty bank yields one empty slice.
+[[nodiscard]] std::vector<exec::SliceRange> plan_budget_slices(
+    std::size_t bank1_bytes, const seqio::SequenceBank& bank2,
+    const ChunkedOptions& options);
 
 /// Run bank1 x bank2 within the memory budget.  Results are sorted with
 /// the usual step-4 ordering and carry bank2's original sequence ids and

@@ -1,0 +1,250 @@
+#include "core/exec/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "core/chunked.hpp"
+#include "core/ordered_extend.hpp"
+#include "seqio/strand.hpp"
+#include "util/threading.hpp"
+#include "util/timer.hpp"
+
+namespace scoris::core::exec {
+namespace {
+
+using align::Hsp;
+using index::BankIndex;
+
+/// Karlin parameters for one group: the base solution, or re-solved from
+/// the banks' actual compositions (size-weighted average, as the
+/// pre-engine pipeline did).
+stats::KarlinParams group_karlin(const ExecRequest& request,
+                                 const seqio::SequenceBank& bank1,
+                                 const seqio::SequenceBank& subject) {
+  if (!request.options.composition_stats) return request.karlin;
+  const auto f1 = bank1.base_frequencies();
+  const auto f2 = subject.base_frequencies();
+  const double w1 = static_cast<double>(bank1.total_bases());
+  const double w2 = static_cast<double>(subject.total_bases());
+  std::vector<double> freqs(4, 0.25);
+  if (w1 + w2 > 0) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      freqs[i] = (f1[i] * w1 + f2[i] * w2) / (w1 + w2);
+    }
+  }
+  return stats::solve_karlin(stats::match_mismatch_distribution(
+      request.options.scoring.match, request.options.scoring.mismatch,
+      freqs));
+}
+
+}  // namespace
+
+ExecResult execute(const ExecRequest& request) {
+  const Options& options = request.options;
+  const seqio::SequenceBank& bank1 = *request.bank1;
+  const seqio::SequenceBank& bank2 = *request.bank2;
+
+  ExecResult result;
+  PipelineStats& st = result.stats;
+  util::WallTimer total;
+
+  // ---- step 1 (bank1 side, exactly once) ---------------------------------
+  util::WallTimer t1;
+  const int w = options.effective_w();
+  if (request.prebuilt1 != nullptr && request.prebuilt1->w() != w) {
+    throw std::invalid_argument(
+        "pipeline: prebuilt index has w=" +
+        std::to_string(request.prebuilt1->w()) + " but the run needs w=" +
+        std::to_string(w));
+  }
+  const index::SeedCoder coder(w);
+  filter::MaskBitmap mask1;
+  index::IndexOptions iopt1;
+  std::optional<BankIndex> own1;
+  if (request.prebuilt1 == nullptr) {
+    if (options.dust) {
+      mask1 = filter::dust_mask(bank1, options.dust_params);
+      iopt1.mask = &mask1;
+    }
+    own1.emplace(bank1, coder, iopt1);
+  }
+  const BankIndex& idx1 =
+      request.prebuilt1 != nullptr ? *request.prebuilt1 : *own1;
+  st.index_seconds += t1.seconds();
+
+  // ---- plan ---------------------------------------------------------------
+  PlanRequest preq;
+  preq.strand = options.strand;
+  preq.slices = request.slices;
+  preq.bank2_size = bank2.size();
+  preq.threads = options.threads;
+  preq.shards = options.shards;
+  preq.schedule = options.schedule;
+  const ExecutionPlan plan = compile_plan(idx1, preq);
+  result.groups = plan.groups.size();
+  result.slices = request.slices.empty() ? 1 : request.slices.size();
+
+  SeedScanParams scan_params;
+  scan_params.scoring = options.scoring;
+  scan_params.min_hsp_score = options.min_hsp_score;
+  scan_params.enforce_order = options.enforce_order;
+
+  ShardStatsReducer reducer(plan.shards.size());
+  std::size_t peak_idx2_bytes = 0;
+  std::size_t peak_idx2_dict = 0;
+  std::size_t peak_idx2_chain = 0;
+  std::size_t peak_subject_positions = 0;
+
+  // ---- groups, sequentially (one slice index in memory at a time) --------
+  // Groups are slice-major (plus, then minus, of the same slice), so the
+  // forward slice is materialized once and shared by the strand pair.
+  std::optional<seqio::SequenceBank> sliced;
+  SliceRange sliced_range{0, 0};
+  for (std::uint32_t gid = 0; gid < plan.groups.size(); ++gid) {
+    const ShardGroup& group = plan.groups[gid];
+
+    // Subject bank for the group: the bank2 slice, reverse-complemented
+    // for minus groups.  The whole-bank forward case borrows bank2
+    // directly instead of copying.
+    util::WallTimer tg;
+    const bool whole =
+        group.slice.from == 0 && group.slice.to == bank2.size();
+    if (!whole && (!sliced.has_value() ||
+                   sliced_range.from != group.slice.from ||
+                   sliced_range.to != group.slice.to)) {
+      sliced = slice_bank(bank2, group.slice.from, group.slice.to);
+      sliced_range = group.slice;
+    }
+    const seqio::SequenceBank& forward = whole ? bank2 : *sliced;
+    std::optional<seqio::SequenceBank> rc;
+    if (group.minus) rc = seqio::reverse_complement(forward);
+    const seqio::SequenceBank& subject = group.minus ? *rc : forward;
+
+    filter::MaskBitmap mask2;
+    index::IndexOptions iopt2;
+    if (options.dust) {
+      mask2 = filter::dust_mask(subject, options.dust_params);
+      iopt2.mask = &mask2;
+    }
+    if (options.asymmetric) iopt2.stride = 2;
+    const BankIndex idx2(subject, coder, iopt2);
+    st.index_seconds += tg.seconds();
+    st.masked_bases += idx2.masked_bases();
+    peak_idx2_bytes = std::max(peak_idx2_bytes, idx2.memory_bytes());
+    peak_idx2_dict = std::max(peak_idx2_dict, idx2.dictionary_bytes());
+    peak_idx2_chain = std::max(peak_idx2_chain, idx2.chain_bytes());
+    peak_subject_positions =
+        std::max(peak_subject_positions, subject.data_size());
+
+    // ---- step 2: shards on the scheduler ---------------------------------
+    util::WallTimer t2;
+    std::vector<SeedScanResult> partials(group.shard_count);
+    util::run_tasks(
+        group.shard_count, static_cast<std::size_t>(plan.threads),
+        plan.schedule, [&](std::size_t s) {
+          const std::size_t id = group.first_shard + s;
+          const Shard& shard = plan.shards[id];
+          util::WallTimer ts;
+          scan_seed_range(idx1, idx2, scan_params, shard.codes.lo,
+                          shard.codes.hi, partials[s]);
+          ShardStats sample;
+          sample.group = gid;
+          sample.codes = shard.codes;
+          sample.weight = shard.weight;
+          sample.seconds = ts.seconds();
+          sample.hit_pairs = partials[s].hit_pairs;
+          sample.order_aborts = partials[s].order_aborts;
+          sample.hsps = partials[s].hsps.size();
+          reducer.record(id, sample);
+        });
+
+    // Concatenating in ascending code-range order reproduces the
+    // sequential enumeration exactly (the order rule keeps ranges
+    // disjoint), so the HSP stream is shard- and schedule-invariant.
+    std::vector<Hsp> hsps;
+    std::size_t total_hsps = 0;
+    for (const SeedScanResult& p : partials) total_hsps += p.hsps.size();
+    hsps.reserve(total_hsps);
+    for (SeedScanResult& p : partials) {
+      hsps.insert(hsps.end(), p.hsps.begin(), p.hsps.end());
+    }
+
+    if (!options.enforce_order) {
+      // Ablation path: the naive implementation de-duplicates explicitly.
+      const auto key = [](const Hsp& h) {
+        return std::tuple(h.s1, h.e1, h.s2, h.e2);
+      };
+      std::sort(hsps.begin(), hsps.end(), [&](const Hsp& x, const Hsp& y) {
+        return key(x) < key(y);
+      });
+      const auto new_end = std::unique(
+          hsps.begin(), hsps.end(),
+          [&](const Hsp& x, const Hsp& y) { return key(x) == key(y); });
+      st.duplicate_hsps +=
+          static_cast<std::size_t>(std::distance(new_end, hsps.end()));
+      hsps.erase(new_end, hsps.end());
+    }
+    st.hsps += hsps.size();
+    st.hsp_seconds += t2.seconds();
+
+    // ---- step 3: gapped extension ----------------------------------------
+    util::WallTimer t3;
+    GappedStageOptions gopt;
+    gopt.scoring = options.scoring;
+    gopt.max_evalue = options.max_evalue;
+    gopt.max_gap_extent = options.max_gap_extent;
+    gopt.threads = options.threads;
+    const stats::KarlinParams karlin =
+        group_karlin(request, bank1, subject);
+    GappedStageStats gstats;
+    std::vector<align::GappedAlignment> alignments =
+        gapped_stage(hsps, bank1, subject, karlin, gopt, &gstats);
+    st.gapped.hsps_in += gstats.hsps_in;
+    st.gapped.skipped_contained += gstats.skipped_contained;
+    st.gapped.gapped_extensions += gstats.gapped_extensions;
+    st.gapped.below_cutoff += gstats.below_cutoff;
+    st.gapped.exact_duplicates += gstats.exact_duplicates;
+
+    // Remap subject ids and global positions back to bank2.  The reverse
+    // complement preserves per-sequence offsets, so one remap serves both
+    // strands (minus display conversion happens at m8 time).
+    for (align::GappedAlignment& a : alignments) {
+      if (group.minus) a.minus = true;
+      if (!whole) {
+        const std::size_t orig_seq = a.seq2 + group.slice.from;
+        const seqio::Pos delta_src = subject.offset(a.seq2);
+        const seqio::Pos delta_dst = bank2.offset(orig_seq);
+        a.seq2 = static_cast<std::uint32_t>(orig_seq);
+        a.s2 = a.s2 - delta_src + delta_dst;
+        a.e2 = a.e2 - delta_src + delta_dst;
+      }
+      result.alignments.push_back(a);
+    }
+    st.gapped_seconds += t3.seconds();
+  }
+
+  // ---- merge --------------------------------------------------------------
+  // A single group is already in step-4 order (the gapped stage sorts);
+  // multiple groups concatenate in plan order and re-sort.
+  if (plan.groups.size() > 1) {
+    std::sort(result.alignments.begin(), result.alignments.end(),
+              step4_less);
+  }
+
+  st.hit_pairs = reducer.total_hit_pairs();
+  st.order_aborts = reducer.total_order_aborts();
+  st.shard_balance = reducer.balance();
+  st.masked_bases += idx1.masked_bases();
+  st.index_bytes = idx1.memory_bytes() + peak_idx2_bytes;
+  st.index_dict_bytes = idx1.dictionary_bytes() + peak_idx2_dict;
+  st.index_chain_bytes = idx1.chain_bytes() + peak_idx2_chain;
+  st.index_positions = bank1.data_size() + peak_subject_positions;
+  st.alignments = result.alignments.size();
+  st.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace scoris::core::exec

@@ -1,0 +1,60 @@
+// The sharded execution engine behind every pipeline entry path.
+//
+// execute() compiles a comparison into an ExecutionPlan (see plan.hpp)
+// and runs it:
+//
+//   step 1   bank1 is masked+indexed once (or adopted prebuilt) — never
+//            per slice or per strand;
+//   groups   each (strand x bank2-slice) group is processed in plan
+//            order: the slice is materialized (and reverse-complemented
+//            for minus groups), masked, indexed, its seed-code shards run
+//            on the static or work-stealing scheduler, and the group's
+//            HSPs feed the gapped stage;
+//   merge    group alignments are remapped to bank2-global coordinates,
+//            concatenated in plan order, and (when more than one group
+//            ran) re-sorted with the step-4 comparator.
+//
+// Determinism: shard outputs concatenate in ascending seed-code order, so
+// the HSP stream — and therefore the m8 output — is byte-identical for
+// any thread count, shard count, or schedule.  Timing and shard-balance
+// numbers land in PipelineStats via the ShardStatsReducer; the bank1
+// index is accounted exactly once (seconds and bytes), fixing the
+// per-slice double counting the old per-path drivers had.
+#pragma once
+
+#include <vector>
+
+#include "core/exec/plan.hpp"
+#include "core/pipeline.hpp"
+
+namespace scoris::core::exec {
+
+/// One comparison, ready for planning.  `bank1`/`bank2` are required;
+/// `prebuilt1` (e.g. adopted from a .scix store) suppresses the bank1
+/// indexing step and must have been built for `bank1` with the run's
+/// effective word length (std::invalid_argument otherwise).
+struct ExecRequest {
+  const seqio::SequenceBank* bank1 = nullptr;
+  const index::BankIndex* prebuilt1 = nullptr;
+  const seqio::SequenceBank* bank2 = nullptr;
+  /// Bank2 sequence slices in processing order; empty = one whole-bank
+  /// slice.  Must partition [0, bank2->size()) for exact results.
+  std::vector<SliceRange> slices;
+  Options options;
+  /// Base Karlin-Altschul parameters (composition_stats re-solves per
+  /// group from the actual bank compositions).
+  stats::KarlinParams karlin;
+};
+
+struct ExecResult {
+  std::vector<align::GappedAlignment> alignments;  ///< bank2-global coords
+  PipelineStats stats;
+  std::size_t groups = 0;  ///< (strand x slice) groups executed
+  std::size_t slices = 0;  ///< bank2 slices in the plan
+};
+
+/// Compile and run the comparison.  Throws std::invalid_argument on a
+/// word-length mismatch with `prebuilt1`.
+[[nodiscard]] ExecResult execute(const ExecRequest& request);
+
+}  // namespace scoris::core::exec

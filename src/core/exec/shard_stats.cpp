@@ -1,0 +1,36 @@
+#include "core/exec/shard_stats.hpp"
+
+#include <algorithm>
+
+namespace scoris::core::exec {
+
+std::size_t ShardStatsReducer::total_hit_pairs() const {
+  std::size_t n = 0;
+  for (const ShardStats& s : samples_) n += s.hit_pairs;
+  return n;
+}
+
+std::size_t ShardStatsReducer::total_order_aborts() const {
+  std::size_t n = 0;
+  for (const ShardStats& s : samples_) n += s.order_aborts;
+  return n;
+}
+
+ShardBalance ShardStatsReducer::balance() const {
+  ShardBalance b;
+  b.shards = samples_.size();
+  if (samples_.empty()) return b;
+  std::vector<double> seconds;
+  seconds.reserve(samples_.size());
+  for (const ShardStats& s : samples_) {
+    seconds.push_back(s.seconds);
+    b.total_seconds += s.seconds;
+  }
+  std::sort(seconds.begin(), seconds.end());
+  b.min_seconds = seconds.front();
+  b.max_seconds = seconds.back();
+  b.median_seconds = seconds[seconds.size() / 2];
+  return b;
+}
+
+}  // namespace scoris::core::exec

@@ -137,6 +137,12 @@ void process_slice(const KeyedHsp* hsps, std::size_t count,
 
 }  // namespace
 
+bool step4_less(const GappedAlignment& x, const GappedAlignment& y) {
+  return std::tuple(x.evalue, -x.bitscore, x.seq1, x.s1, x.seq2, x.s2,
+                    x.minus) < std::tuple(y.evalue, -y.bitscore, y.seq1, y.s1,
+                                          y.seq2, y.s2, y.minus);
+}
+
 std::vector<GappedAlignment> gapped_stage(std::vector<Hsp>& hsps,
                                           const seqio::SequenceBank& bank1,
                                           const seqio::SequenceBank& bank2,
@@ -215,12 +221,7 @@ std::vector<GappedAlignment> gapped_stage(std::vector<Hsp>& hsps,
   result.erase(new_end, result.end());
 
   // Step-4 ordering: by e-value, then bit score, then coordinates.
-  std::sort(result.begin(), result.end(),
-            [](const GappedAlignment& x, const GappedAlignment& y) {
-              return std::tuple(x.evalue, -x.bitscore, x.seq1, x.s1, x.seq2,
-                                x.s2) < std::tuple(y.evalue, -y.bitscore,
-                                                   y.seq1, y.s1, y.seq2, y.s2);
-            });
+  std::sort(result.begin(), result.end(), step4_less);
 
   if (out_stats != nullptr) *out_stats = st;
   return result;

@@ -40,6 +40,13 @@ struct GappedStageStats {
   std::size_t exact_duplicates = 0;   ///< identical alignments removed
 };
 
+/// The step-4 output ordering, shared by every merge point in the code
+/// base (this stage's final sort and the exec engine's cross-group merge):
+/// increasing e-value, then decreasing bit score, then coordinates, with
+/// the minus-strand flag as the final tie break (plus before minus).
+[[nodiscard]] bool step4_less(const align::GappedAlignment& x,
+                              const align::GappedAlignment& y);
+
 /// Consume `hsps` (sorted in place) and produce e-value-filtered gapped
 /// alignments, sorted by increasing e-value (paper step 4 ordering).
 [[nodiscard]] std::vector<align::GappedAlignment> gapped_stage(

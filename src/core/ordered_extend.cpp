@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "align/ungapped.hpp"
+
 namespace scoris::core {
 
 using seqio::Code;
@@ -135,6 +137,45 @@ OrderedExtendOutcome extend_ordered(const index::BankIndex& idx1,
   const index::SeedCode anchor =
       idx1.coder().code_unchecked(idx1.bank().data(), p1);
   return extend_ordered(idx1, idx2, p1, p2, anchor, params);
+}
+
+void scan_seed_range(const index::BankIndex& idx1,
+                     const index::BankIndex& idx2,
+                     const SeedScanParams& params, index::SeedCode code_lo,
+                     index::SeedCode code_hi, SeedScanResult& out) {
+  const auto seq1 = idx1.bank().data();
+  const auto seq2 = idx2.bank().data();
+  const int w = idx1.w();
+
+  for (index::SeedCode code = code_lo; code < code_hi; ++code) {
+    const std::int32_t head1 = idx1.first(code);
+    if (head1 < 0) continue;
+    const std::int32_t head2 = idx2.first(code);
+    if (head2 < 0) continue;
+
+    for (std::int32_t p1 = head1; p1 >= 0; p1 = idx1.next(p1)) {
+      for (std::int32_t p2 = head2; p2 >= 0; p2 = idx2.next(p2)) {
+        ++out.hit_pairs;
+        if (params.enforce_order) {
+          const OrderedExtendOutcome o =
+              extend_ordered(idx1, idx2, static_cast<Pos>(p1),
+                             static_cast<Pos>(p2), code, params.scoring);
+          if (!o.hsp.has_value()) {
+            ++out.order_aborts;
+            continue;
+          }
+          if (o.hsp->score >= params.min_hsp_score) {
+            out.hsps.push_back(*o.hsp);
+          }
+        } else {
+          const align::Hsp h =
+              align::extend_ungapped(seq1, seq2, static_cast<Pos>(p1),
+                                     static_cast<Pos>(p2), w, params.scoring);
+          if (h.score >= params.min_hsp_score) out.hsps.push_back(h);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace scoris::core

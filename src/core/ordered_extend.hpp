@@ -23,7 +23,9 @@
 // extension, so aborting would lose the HSP entirely).
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "align/records.hpp"
 #include "align/scoring.hpp"
@@ -52,5 +54,32 @@ struct OrderedExtendOutcome {
 [[nodiscard]] OrderedExtendOutcome extend_ordered(
     const index::BankIndex& idx1, const index::BankIndex& idx2,
     seqio::Pos p1, seqio::Pos p2, const align::ScoringParams& params);
+
+/// Step-2 kernel parameters (the slice of core::Options the scan needs;
+/// kept separate so this header stays independent of the pipeline).
+struct SeedScanParams {
+  align::ScoringParams scoring;
+  int min_hsp_score = 25;     ///< S1 threshold for keeping HSPs
+  bool enforce_order = true;  ///< false = A1 ablation (plain extension)
+};
+
+/// One worker's step-2 output over a seed-code range.  Because the order
+/// rule makes HSP output disjoint across disjoint code ranges,
+/// concatenating results of a contiguous ascending partition of
+/// [0, 4^W) reproduces the sequential scan exactly — this is the
+/// invariant the exec engine's shards are built on.
+struct SeedScanResult {
+  std::vector<align::Hsp> hsps;
+  std::size_t hit_pairs = 0;
+  std::size_t order_aborts = 0;
+};
+
+/// Enumerate seed codes [code_lo, code_hi) in increasing order and run the
+/// ordered (or, for the ablation, plain ungapped) extension over every
+/// occurrence pair.  HSPs are appended to `out` in enumeration order.
+void scan_seed_range(const index::BankIndex& idx1,
+                     const index::BankIndex& idx2,
+                     const SeedScanParams& params, index::SeedCode code_lo,
+                     index::SeedCode code_hi, SeedScanResult& out);
 
 }  // namespace scoris::core

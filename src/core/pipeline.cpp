@@ -1,71 +1,32 @@
 #include "core/pipeline.hpp"
 
-#include <algorithm>
-#include <optional>
 #include <ostream>
-#include <stdexcept>
-#include <string>
-#include <tuple>
+#include <utility>
 
-#include "align/ungapped.hpp"
 #include "compare/m8.hpp"
-#include "core/ordered_extend.hpp"
-#include "index/bank_index.hpp"
-#include "util/threading.hpp"
-#include "util/timer.hpp"
+#include "core/exec/engine.hpp"
 
 namespace scoris::core {
 namespace {
 
-using align::Hsp;
-using index::BankIndex;
-using index::SeedCode;
-using seqio::Pos;
+exec::ExecRequest make_request(const Options& options,
+                               const stats::KarlinParams& karlin,
+                               const seqio::SequenceBank& bank1,
+                               const seqio::SequenceBank& bank2,
+                               const index::BankIndex* prebuilt1,
+                               std::span<const exec::SliceRange> slices) {
+  exec::ExecRequest request;
+  request.bank1 = &bank1;
+  request.prebuilt1 = prebuilt1;
+  request.bank2 = &bank2;
+  request.slices.assign(slices.begin(), slices.end());
+  request.options = options;
+  request.karlin = karlin;
+  return request;
+}
 
-/// Per-worker accumulator for step 2.
-struct Step2Partial {
-  std::vector<Hsp> hsps;
-  std::size_t hit_pairs = 0;
-  std::size_t order_aborts = 0;
-};
-
-/// Step 2 over one contiguous seed-code range [code_lo, code_hi).
-void step2_range(const BankIndex& idx1, const BankIndex& idx2,
-                 const Options& options, SeedCode code_lo, SeedCode code_hi,
-                 Step2Partial& out) {
-  const auto seq1 = idx1.bank().data();
-  const auto seq2 = idx2.bank().data();
-  const int w = idx1.w();
-
-  for (SeedCode code = code_lo; code < code_hi; ++code) {
-    const std::int32_t head1 = idx1.first(code);
-    if (head1 < 0) continue;
-    const std::int32_t head2 = idx2.first(code);
-    if (head2 < 0) continue;
-
-    for (std::int32_t p1 = head1; p1 >= 0; p1 = idx1.next(p1)) {
-      for (std::int32_t p2 = head2; p2 >= 0; p2 = idx2.next(p2)) {
-        ++out.hit_pairs;
-        if (options.enforce_order) {
-          const OrderedExtendOutcome o =
-              extend_ordered(idx1, idx2, static_cast<Pos>(p1),
-                             static_cast<Pos>(p2), code, options.scoring);
-          if (!o.hsp.has_value()) {
-            ++out.order_aborts;
-            continue;
-          }
-          if (o.hsp->score >= options.min_hsp_score) {
-            out.hsps.push_back(*o.hsp);
-          }
-        } else {
-          const Hsp h =
-              align::extend_ungapped(seq1, seq2, static_cast<Pos>(p1),
-                                     static_cast<Pos>(p2), w, options.scoring);
-          if (h.score >= options.min_hsp_score) out.hsps.push_back(h);
-        }
-      }
-    }
-  }
+Result to_result(exec::ExecResult&& er) {
+  return Result{std::move(er.alignments), std::move(er.stats)};
 }
 
 }  // namespace
@@ -77,199 +38,26 @@ Pipeline::Pipeline(Options options) : options_(std::move(options)) {
 
 Result Pipeline::run(const seqio::SequenceBank& bank1,
                      const seqio::SequenceBank& bank2) const {
-  return run_strands(bank1, bank2, /*prebuilt1=*/nullptr);
+  return run_sliced(bank1, bank2, {});
 }
 
 Result Pipeline::run(const index::BankIndex& idx1,
                      const seqio::SequenceBank& bank2) const {
-  if (idx1.w() != options_.effective_w()) {
-    throw std::invalid_argument(
-        "pipeline: prebuilt index has w=" + std::to_string(idx1.w()) +
-        " but the run needs w=" + std::to_string(options_.effective_w()));
-  }
-  return run_strands(idx1.bank(), bank2, &idx1);
+  return run_sliced(idx1, bank2, {});
 }
 
-Result Pipeline::run_strands(const seqio::SequenceBank& bank1,
-                             const seqio::SequenceBank& bank2,
-                             const index::BankIndex* prebuilt1) const {
-  using seqio::Strand;
-  if (options_.strand == Strand::kPlus) {
-    return run_single(bank1, bank2, /*minus=*/false, prebuilt1);
-  }
-  const seqio::SequenceBank rc = seqio::reverse_complement(bank2);
-  if (options_.strand == Strand::kMinus) {
-    return run_single(bank1, rc, /*minus=*/true, prebuilt1);
-  }
-
-  // Both strands: run each and merge (step-4 ordering re-applied).
-  Result plus = run_single(bank1, bank2, /*minus=*/false, prebuilt1);
-  Result minus = run_single(bank1, rc, /*minus=*/true, prebuilt1);
-  plus.alignments.insert(plus.alignments.end(), minus.alignments.begin(),
-                         minus.alignments.end());
-  std::sort(plus.alignments.begin(), plus.alignments.end(),
-            [](const align::GappedAlignment& x,
-               const align::GappedAlignment& y) {
-              return std::tuple(x.evalue, -x.bitscore, x.seq1, x.s1, x.seq2,
-                                x.s2, x.minus) <
-                     std::tuple(y.evalue, -y.bitscore, y.seq1, y.s1, y.seq2,
-                                y.s2, y.minus);
-            });
-  // Aggregate statistics.
-  auto& s = plus.stats;
-  const auto& m = minus.stats;
-  s.index_seconds += m.index_seconds;
-  s.hsp_seconds += m.hsp_seconds;
-  s.gapped_seconds += m.gapped_seconds;
-  s.total_seconds += m.total_seconds;
-  s.hit_pairs += m.hit_pairs;
-  s.order_aborts += m.order_aborts;
-  s.hsps += m.hsps;
-  s.duplicate_hsps += m.duplicate_hsps;
-  s.index_bytes = std::max(s.index_bytes, m.index_bytes);
-  s.index_dict_bytes = std::max(s.index_dict_bytes, m.index_dict_bytes);
-  s.index_chain_bytes = std::max(s.index_chain_bytes, m.index_chain_bytes);
-  s.index_positions = std::max(s.index_positions, m.index_positions);
-  s.masked_bases += m.masked_bases;
-  s.gapped.hsps_in += m.gapped.hsps_in;
-  s.gapped.skipped_contained += m.gapped.skipped_contained;
-  s.gapped.gapped_extensions += m.gapped.gapped_extensions;
-  s.gapped.below_cutoff += m.gapped.below_cutoff;
-  s.gapped.exact_duplicates += m.gapped.exact_duplicates;
-  s.alignments = plus.alignments.size();
-  return plus;
-}
-
-Result Pipeline::run_single(const seqio::SequenceBank& bank1,
+Result Pipeline::run_sliced(const seqio::SequenceBank& bank1,
                             const seqio::SequenceBank& bank2,
-                            bool minus,
-                            const index::BankIndex* prebuilt1) const {
-  Result result;
-  util::WallTimer total;
+                            std::span<const exec::SliceRange> slices) const {
+  return to_result(exec::execute(make_request(options_, karlin_, bank1,
+                                              bank2, nullptr, slices)));
+}
 
-  // ---- step 1: indexing --------------------------------------------------
-  util::WallTimer t1;
-  const int w = options_.effective_w();
-  const index::SeedCoder coder(w);
-
-  filter::MaskBitmap mask1;
-  filter::MaskBitmap mask2;
-  index::IndexOptions iopt1;
-  index::IndexOptions iopt2;
-  if (options_.dust) {
-    if (prebuilt1 == nullptr) {
-      mask1 = filter::dust_mask(bank1, options_.dust_params);
-      iopt1.mask = &mask1;
-    }
-    mask2 = filter::dust_mask(bank2, options_.dust_params);
-    iopt2.mask = &mask2;
-  }
-  if (options_.asymmetric) iopt2.stride = 2;
-
-  // bank1's index is either adopted (already built, e.g. loaded from a
-  // .scix store) or built in place; bank2's is always fresh (it may be a
-  // reverse complement or a chunk slice).
-  std::optional<BankIndex> own1;
-  if (prebuilt1 == nullptr) own1.emplace(bank1, coder, iopt1);
-  const BankIndex& idx1 = prebuilt1 != nullptr ? *prebuilt1 : *own1;
-  const BankIndex idx2(bank2, coder, iopt2);
-  result.stats.masked_bases = idx1.masked_bases() + idx2.masked_bases();
-  result.stats.index_bytes = idx1.memory_bytes() + idx2.memory_bytes();
-  result.stats.index_dict_bytes =
-      idx1.dictionary_bytes() + idx2.dictionary_bytes();
-  result.stats.index_chain_bytes = idx1.chain_bytes() + idx2.chain_bytes();
-  result.stats.index_positions = bank1.data_size() + bank2.data_size();
-  result.stats.index_seconds = t1.seconds();
-
-  // ---- step 2: ordered hit extension --------------------------------------
-  util::WallTimer t2;
-  const auto num_codes = static_cast<std::size_t>(coder.num_seeds());
-  std::vector<Hsp> hsps;
-
-  if (options_.threads <= 1) {
-    Step2Partial partial;
-    step2_range(idx1, idx2, options_, 0, static_cast<SeedCode>(num_codes),
-                partial);
-    hsps = std::move(partial.hsps);
-    result.stats.hit_pairs = partial.hit_pairs;
-    result.stats.order_aborts = partial.order_aborts;
-  } else {
-    // Partition the seed-code space; the order rule keeps partitions
-    // disjoint in their HSP output, so a plain concatenation is exact.
-    const std::size_t chunks =
-        std::max<std::size_t>(1, static_cast<std::size_t>(options_.threads) * 8);
-    const std::size_t step = (num_codes + chunks - 1) / chunks;
-    std::vector<Step2Partial> partials((num_codes + step - 1) / step);
-    util::parallel_chunks(
-        0, partials.size(), static_cast<std::size_t>(options_.threads),
-        [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t c = lo; c < hi; ++c) {
-            const auto code_lo = static_cast<SeedCode>(c * step);
-            const auto code_hi = static_cast<SeedCode>(
-                std::min(num_codes, (c + 1) * step));
-            step2_range(idx1, idx2, options_, code_lo, code_hi, partials[c]);
-          }
-        },
-        1);
-    for (auto& p : partials) {
-      hsps.insert(hsps.end(), p.hsps.begin(), p.hsps.end());
-      result.stats.hit_pairs += p.hit_pairs;
-      result.stats.order_aborts += p.order_aborts;
-    }
-  }
-
-  if (!options_.enforce_order) {
-    // Ablation path: the naive implementation must de-duplicate explicitly.
-    const auto key = [](const Hsp& h) {
-      return std::tuple(h.s1, h.e1, h.s2, h.e2);
-    };
-    std::sort(hsps.begin(), hsps.end(), [&](const Hsp& x, const Hsp& y) {
-      return key(x) < key(y);
-    });
-    const auto new_end =
-        std::unique(hsps.begin(), hsps.end(),
-                    [&](const Hsp& x, const Hsp& y) { return key(x) == key(y); });
-    result.stats.duplicate_hsps =
-        static_cast<std::size_t>(std::distance(new_end, hsps.end()));
-    hsps.erase(new_end, hsps.end());
-  }
-
-  result.stats.hsps = hsps.size();
-  result.stats.hsp_seconds = t2.seconds();
-
-  // ---- step 3: gapped extension -------------------------------------------
-  util::WallTimer t3;
-  GappedStageOptions gopt;
-  gopt.scoring = options_.scoring;
-  gopt.max_evalue = options_.max_evalue;
-  gopt.max_gap_extent = options_.max_gap_extent;
-  gopt.threads = options_.threads;
-  stats::KarlinParams karlin = karlin_;
-  if (options_.composition_stats) {
-    // Average the two banks' compositions (weighted by size).
-    const auto f1 = bank1.base_frequencies();
-    const auto f2 = bank2.base_frequencies();
-    const double w1 = static_cast<double>(bank1.total_bases());
-    const double w2 = static_cast<double>(bank2.total_bases());
-    std::vector<double> freqs(4, 0.25);
-    if (w1 + w2 > 0) {
-      for (std::size_t i = 0; i < 4; ++i) {
-        freqs[i] = (f1[i] * w1 + f2[i] * w2) / (w1 + w2);
-      }
-    }
-    karlin = stats::solve_karlin(stats::match_mismatch_distribution(
-        options_.scoring.match, options_.scoring.mismatch, freqs));
-  }
-  result.alignments =
-      gapped_stage(hsps, bank1, bank2, karlin, gopt, &result.stats.gapped);
-  result.stats.gapped_seconds = t3.seconds();
-  if (minus) {
-    for (auto& a : result.alignments) a.minus = true;
-  }
-
-  result.stats.alignments = result.alignments.size();
-  result.stats.total_seconds = total.seconds();
-  return result;
+Result Pipeline::run_sliced(const index::BankIndex& idx1,
+                            const seqio::SequenceBank& bank2,
+                            std::span<const exec::SliceRange> slices) const {
+  return to_result(exec::execute(make_request(options_, karlin_, idx1.bank(),
+                                              bank2, &idx1, slices)));
 }
 
 void write_result_m8(std::ostream& os, const Result& result,

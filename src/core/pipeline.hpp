@@ -12,14 +12,22 @@
 // the outer seed loop partitions by seed-code range (workers can never
 // produce the same HSP thanks to the order rule), and step 3 partitions by
 // subject sequence.  Results are deterministic and thread-count-invariant.
+//
+// Pipeline is a thin frontend: every entry path (flat, prebuilt index,
+// sliced/chunked, both strands) compiles to an exec::ExecutionPlan of
+// (strand x bank2-slice x seed-code-range) shards and runs on the shared
+// execution engine in core/exec/.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "align/records.hpp"
 #include "align/scoring.hpp"
+#include "core/exec/plan.hpp"
+#include "core/exec/shard_stats.hpp"
 #include "core/gapped_stage.hpp"
 #include "filter/dust.hpp"
 #include "index/bank_index.hpp"
@@ -43,6 +51,14 @@ struct Options {
   /// complement and merges.
   seqio::Strand strand = seqio::Strand::kPlus;
   int threads = 1;
+  /// Step-2 seed-code shards per (strand x slice) group.  0 = auto: one
+  /// shard single-threaded, otherwise threads * 8.  Boundaries adapt to
+  /// the bank1 dictionary's occupancy histogram (see core/exec/plan.hpp);
+  /// the m8 output is invariant under this knob.
+  std::size_t shards = 0;
+  /// How shards are assigned to workers (static round-robin or
+  /// work-stealing).  Output-invariant, like `shards`.
+  util::Schedule schedule = util::Schedule::kStealing;
   std::size_t max_gap_extent = 1u << 20;
   /// Ablation switch (bench A1): when false, step 2 uses the plain
   /// unordered extension and duplicates are removed by sort+unique, the
@@ -78,6 +94,9 @@ struct PipelineStats {
   std::size_t masked_bases = 0;     ///< DUST-masked positions, both banks
   GappedStageStats gapped;
   std::size_t alignments = 0;
+  /// Step-2 shard wall-time spread over all (strand x slice) groups —
+  /// scheduler balance at a glance (--stats prints min/median/max).
+  exec::ShardBalance shard_balance;
 };
 
 struct Result {
@@ -104,18 +123,24 @@ class Pipeline {
   [[nodiscard]] Result run(const index::BankIndex& idx1,
                            const seqio::SequenceBank& bank2) const;
 
+  /// Same comparison restricted to the given bank2 sequence slices, with
+  /// alignments remapped to bank2-global coordinates (the chunked
+  /// driver's entry point; `run` is the single-slice special case).
+  /// Slices are processed in order; results are bit-identical to the
+  /// unsliced run as long as the slices partition [0, bank2.size()).
+  [[nodiscard]] Result run_sliced(const seqio::SequenceBank& bank1,
+                                  const seqio::SequenceBank& bank2,
+                                  std::span<const exec::SliceRange> slices)
+      const;
+  [[nodiscard]] Result run_sliced(const index::BankIndex& idx1,
+                                  const seqio::SequenceBank& bank2,
+                                  std::span<const exec::SliceRange> slices)
+      const;
+
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] const stats::KarlinParams& karlin() const { return karlin_; }
 
  private:
-  [[nodiscard]] Result run_strands(const seqio::SequenceBank& bank1,
-                                   const seqio::SequenceBank& bank2,
-                                   const index::BankIndex* prebuilt1) const;
-  [[nodiscard]] Result run_single(const seqio::SequenceBank& bank1,
-                                  const seqio::SequenceBank& bank2,
-                                  bool minus,
-                                  const index::BankIndex* prebuilt1) const;
-
   Options options_;
   stats::KarlinParams karlin_;
 };

@@ -1,5 +1,6 @@
 #include "index/bank_index.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -106,6 +107,19 @@ std::size_t BankIndex::occurrence_count(SeedCode code) const {
     ++n;
   }
   return n;
+}
+
+std::vector<std::size_t> BankIndex::occupancy_histogram(
+    std::size_t buckets) const {
+  const std::size_t codes = first_.size();
+  buckets = std::min(std::max<std::size_t>(1, buckets), codes);
+  std::vector<std::size_t> hist(buckets, 0);
+  const std::size_t per = (codes + buckets - 1) / buckets;
+  for (std::size_t code = 0; code < codes; ++code) {
+    if (first_[code] < 0) continue;
+    hist[code / per] += occurrence_count(static_cast<SeedCode>(code));
+  }
+  return hist;
 }
 
 namespace {

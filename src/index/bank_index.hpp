@@ -111,6 +111,14 @@ class BankIndex {
   /// Number of occurrences of `code` (walks the chain).
   [[nodiscard]] std::size_t occurrence_count(SeedCode code) const;
 
+  /// Occupancy histogram over the seed-code space: bucket b counts the
+  /// indexed positions whose code falls in [b*ceil(4^W/buckets), ...).
+  /// The bucket sum equals total_indexed().  `buckets` is clamped to
+  /// [1, 4^W].  O(4^W + N); the exec engine uses it to place seed-code
+  /// shard boundaries so shards carry comparable step-2 work.
+  [[nodiscard]] std::vector<std::size_t> occupancy_histogram(
+      std::size_t buckets) const;
+
   /// Total indexed word positions over all seeds.
   [[nodiscard]] std::size_t total_indexed() const { return total_indexed_; }
 

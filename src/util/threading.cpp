@@ -75,4 +75,70 @@ void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
   pool.wait_idle();
 }
 
+WorkStealingQueue::WorkStealingQueue(std::size_t count, std::size_t workers)
+    : deques_(std::max<std::size_t>(1, workers)) {
+  const std::size_t n = deques_.size();
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::size_t lo = count * w / n;
+    const std::size_t hi = count * (w + 1) / n;
+    for (std::size_t t = lo; t < hi; ++t) deques_[w].tasks.push_back(t);
+  }
+}
+
+bool WorkStealingQueue::pop(std::size_t worker, std::size_t& task) {
+  const std::size_t n = deques_.size();
+  worker %= n;
+  {
+    PerWorker& own = deques_[worker];
+    std::lock_guard lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    PerWorker& victim = deques_[(worker + k) % n];
+    std::lock_guard lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      task = victim.tasks.back();
+      victim.tasks.pop_back();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void run_tasks(std::size_t count, std::size_t threads, Schedule schedule,
+               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t n = std::min(std::max<std::size_t>(1, threads), count);
+  if (n <= 1) {
+    for (std::size_t t = 0; t < count; ++t) fn(t);
+    return;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  if (schedule == Schedule::kStatic) {
+    for (std::size_t w = 0; w < n; ++w) {
+      workers.emplace_back([&fn, w, n, count] {
+        for (std::size_t t = w; t < count; t += n) fn(t);
+      });
+    }
+  } else {
+    WorkStealingQueue queue(count, n);
+    for (std::size_t w = 0; w < n; ++w) {
+      workers.emplace_back([&fn, &queue, w] {
+        std::size_t task = 0;
+        while (queue.pop(w, task)) fn(task);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    return;
+  }
+  for (auto& worker : workers) worker.join();
+}
+
 }  // namespace scoris::util

@@ -7,8 +7,10 @@
 // this pool to partition seed-code ranges (step 2) and HSP chunks (step 3).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,6 +18,12 @@
 #include <vector>
 
 namespace scoris::util {
+
+/// How indexed tasks are assigned to workers (run_tasks / the exec engine).
+enum class Schedule {
+  kStatic,    ///< fixed round-robin assignment, no migration
+  kStealing,  ///< contiguous blocks; idle workers steal from peers' tails
+};
 
 /// Fixed-size pool of worker threads consuming a FIFO of tasks.
 ///
@@ -58,5 +66,49 @@ class ThreadPool {
 void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
                      const std::function<void(std::size_t, std::size_t)>& fn,
                      std::size_t chunks_per_thread = 4);
+
+/// Per-worker deques of task indexes with tail stealing.
+///
+/// Tasks [0, count) are dealt to `workers` deques in contiguous blocks.
+/// A worker pops its own deque from the front (preserving ascending task
+/// order locally, which keeps cache reuse between adjacent seed-code
+/// ranges); a worker whose deque is empty scans its peers and steals one
+/// task from the *tail* of the first non-empty deque, so thieves take the
+/// work the owner would reach last.  Every task is handed out exactly
+/// once.  Mutex-per-deque keeps the implementation simple; shards are
+/// coarse enough (milliseconds) that pop cost is noise.
+class WorkStealingQueue {
+ public:
+  WorkStealingQueue(std::size_t count, std::size_t workers);
+
+  /// Fetch the next task for `worker`. Returns false when no work remains
+  /// anywhere (the queue is fully drained).
+  bool pop(std::size_t worker, std::size_t& task);
+
+  [[nodiscard]] std::size_t workers() const { return deques_.size(); }
+
+  /// Number of tasks that migrated off their initial worker (telemetry).
+  [[nodiscard]] std::size_t stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PerWorker {
+    std::deque<std::size_t> tasks;
+    std::mutex mu;
+  };
+  std::vector<PerWorker> deques_;
+  std::atomic<std::size_t> stolen_{0};
+};
+
+/// Run `fn(task)` for every task in [0, count) on up to `threads` workers.
+///
+/// kStatic assigns task t to worker t % threads and never migrates it;
+/// kStealing deals contiguous blocks and lets idle workers steal (see
+/// WorkStealingQueue).  Either way every task runs exactly once, so output
+/// written to per-task slots is schedule- and thread-count-invariant.
+/// With `threads <= 1` tasks run inline in ascending order.
+void run_tasks(std::size_t count, std::size_t threads, Schedule schedule,
+               const std::function<void(std::size_t)>& fn);
 
 }  // namespace scoris::util

@@ -37,6 +37,35 @@ TEST(SliceBank, RejectsBadRanges) {
   EXPECT_THROW((void)slice_bank(bank, 0, 2), std::invalid_argument);
 }
 
+TEST(SliceBank, EmptyRangeYieldsEmptyBank) {
+  seqio::SequenceBank bank("b");
+  bank.add("a", "ACGTACGT");
+  bank.add("b", "TTTTAAAA");
+  for (const std::size_t at : {std::size_t{0}, std::size_t{1},
+                               std::size_t{2}}) {
+    const auto slice = slice_bank(bank, at, at);  // from == to
+    EXPECT_TRUE(slice.empty());
+    EXPECT_EQ(slice.total_bases(), 0u);
+  }
+}
+
+TEST(SliceBank, EmptySourceBank) {
+  const seqio::SequenceBank bank("none");
+  const auto slice = slice_bank(bank, 0, 0);
+  EXPECT_TRUE(slice.empty());
+  EXPECT_THROW((void)slice_bank(bank, 0, 1), std::invalid_argument);
+}
+
+TEST(SliceBank, SingleSequenceBankFullSlice) {
+  seqio::SequenceBank bank("one");
+  bank.add("only", "ACGTACGTACGTAC");
+  const auto slice = slice_bank(bank, 0, 1);
+  ASSERT_EQ(slice.size(), 1u);
+  EXPECT_EQ(slice.seq_name(0), "only");
+  EXPECT_EQ(slice.bases(0), bank.bases(0));
+  EXPECT_EQ(slice.offset(0), bank.offset(0));
+}
+
 TEST(EstimatedIndexBytes, FiveBytesPerNtPlusDictionary) {
   simulate::Rng rng(603);
   seqio::SequenceBank bank;
@@ -101,6 +130,35 @@ TEST(Chunked, M8OutputIdentical) {
   write_result_m8(m8_whole, whole, est1, est2);
   EXPECT_EQ(m8_chunked.str(), m8_whole.str());
   EXPECT_FALSE(m8_whole.str().empty());
+}
+
+TEST(Chunked, M8IdenticalAcrossShardAndThreadSettings) {
+  // Satellite matrix: chunked + both strands must stay byte-identical to
+  // the flat single-threaded run under any shards/threads combination.
+  simulate::Rng rng(619);
+  const auto hp = simulate::make_homologous_pair(rng, 300, 10, 8, 0.06);
+
+  Options base;
+  base.strand = seqio::Strand::kBoth;
+  const auto whole = Pipeline(base).run(hp.bank1, hp.bank2);
+  std::ostringstream ref;
+  write_result_m8(ref, whole, hp.bank1, hp.bank2);
+  ASSERT_FALSE(ref.str().empty());
+
+  for (const std::size_t shards : {1u, 4u, 16u}) {
+    for (const int threads : {1, 8}) {
+      ChunkedOptions copt;
+      copt.pipeline = base;
+      copt.pipeline.shards = shards;
+      copt.pipeline.threads = threads;
+      copt.min_chunks = 3;
+      const auto chunked = run_chunked(hp.bank1, hp.bank2, copt);
+      std::ostringstream m8;
+      compare::write_m8(m8, chunked.alignments, hp.bank1, hp.bank2);
+      EXPECT_EQ(m8.str(), ref.str())
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
 }
 
 TEST(Chunked, BudgetDrivesChunkCount) {

@@ -139,6 +139,49 @@ TEST_F(CliTest, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(b1.out, b4.out);
 }
 
+TEST_F(CliTest, ShardAndScheduleFlagsAreOutputInvariant) {
+  const CliResult ref =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--strand", "both"});
+  ASSERT_EQ(ref.exit_code, kOk) << ref.err;
+  ASSERT_FALSE(ref.out.empty());
+  for (const std::string shards : {"1", "4", "16"}) {
+    for (const std::string threads : {"1", "8"}) {
+      for (const std::string schedule : {"static", "stealing"}) {
+        const CliResult r = run_cli(
+            {"--bank1", bank1_, "--bank2", bank2_, "--strand", "both",
+             "--shards", shards, "--threads", threads, "--schedule",
+             schedule});
+        ASSERT_EQ(r.exit_code, kOk) << r.err;
+        EXPECT_EQ(r.out, ref.out) << "shards=" << shards << " threads="
+                                  << threads << " schedule=" << schedule;
+      }
+    }
+  }
+}
+
+TEST_F(CliTest, ScheduleAndShardFlagsAreValidated) {
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--schedule",
+                     "round-robin"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--shards",
+                     "many"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--shards",
+                     "-3"})
+                .exit_code,
+            kUsage);
+}
+
+TEST_F(CliTest, StatsReportShardBalance) {
+  const CliResult r = run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                               "--shards", "4", "--stats"});
+  ASSERT_EQ(r.exit_code, kOk) << r.err;
+  EXPECT_NE(r.err.find("step2 shards:"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("wall min/median/max"), std::string::npos) << r.err;
+}
+
 TEST_F(CliTest, PositionalBanksWork) {
   const CliResult named =
       run_cli({"--bank1", bank1_, "--bank2", bank2_});

@@ -1,0 +1,259 @@
+// Tests for the sharded execution engine: occupancy-adaptive seed-range
+// splitting, plan compilation, stat accounting, and the m8 byte-identity
+// of every entry path under any shard/thread/schedule setting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "compare/m8.hpp"
+#include "core/chunked.hpp"
+#include "core/exec/engine.hpp"
+#include "core/exec/plan.hpp"
+#include "core/pipeline.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/mutate.hpp"
+#include "simulate/rng.hpp"
+
+namespace scoris::core::exec {
+namespace {
+
+seqio::SequenceBank random_bank(std::uint64_t seed, int sequences,
+                                std::size_t len) {
+  simulate::Rng rng(seed);
+  seqio::SequenceBank bank("b" + std::to_string(seed));
+  for (int i = 0; i < sequences; ++i) {
+    bank.add_codes("s" + std::to_string(i), simulate::random_codes(rng, len));
+  }
+  return bank;
+}
+
+index::BankIndex make_index(const seqio::SequenceBank& bank, int w) {
+  return index::BankIndex(bank, index::SeedCoder(w));
+}
+
+TEST(OccupancyHistogram, SumsToTotalIndexed) {
+  const auto bank = random_bank(11, 4, 800);
+  const auto idx = make_index(bank, 8);
+  for (const std::size_t buckets : {1u, 7u, 256u, 1u << 16}) {
+    const auto hist = idx.occupancy_histogram(buckets);
+    ASSERT_LE(hist.size(), static_cast<std::size_t>(idx.coder().num_seeds()));
+    std::size_t sum = 0;
+    for (const auto h : hist) sum += h;
+    EXPECT_EQ(sum, idx.total_indexed()) << buckets << " buckets";
+  }
+}
+
+TEST(OccupancyHistogram, ClampsBucketCountToCodeSpace) {
+  const auto bank = random_bank(13, 1, 200);
+  const auto idx = make_index(bank, 4);  // 256 codes
+  EXPECT_EQ(idx.occupancy_histogram(1u << 20).size(), 256u);
+  EXPECT_EQ(idx.occupancy_histogram(0).size(), 1u);
+}
+
+TEST(SplitSeedRanges, CoversCodeSpaceContiguously) {
+  const auto bank = random_bank(17, 6, 600);
+  const auto idx = make_index(bank, 8);
+  for (const std::size_t shards : {1u, 2u, 5u, 16u, 64u}) {
+    std::vector<std::size_t> weights;
+    const auto ranges = split_seed_ranges(idx, shards, &weights);
+    ASSERT_FALSE(ranges.empty());
+    ASSERT_EQ(ranges.size(), weights.size());
+    EXPECT_LE(ranges.size(), shards);
+    EXPECT_EQ(ranges.front().lo, 0u);
+    EXPECT_EQ(ranges.back().hi,
+              static_cast<index::SeedCode>(idx.coder().num_seeds()));
+    std::size_t weight_sum = 0;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      EXPECT_LT(ranges[i].lo, ranges[i].hi);
+      if (i > 0) EXPECT_EQ(ranges[i].lo, ranges[i - 1].hi);
+      weight_sum += weights[i];
+    }
+    EXPECT_EQ(weight_sum, idx.total_indexed());
+  }
+}
+
+TEST(SplitSeedRanges, BalancesSkewedOccupancy) {
+  // A bank dominated by one repeated word: the heavy code region must not
+  // drag half the uniform code space with it.
+  simulate::Rng rng(19);
+  seqio::SequenceBank bank("skew");
+  std::string poly(3000, 'A');
+  bank.add("repeat", poly);
+  bank.add_codes("rand", simulate::random_codes(rng, 3000));
+  index::BankIndex idx(bank, index::SeedCoder(8));
+
+  std::vector<std::size_t> weights;
+  const auto ranges = split_seed_ranges(idx, 8, &weights);
+  ASSERT_GT(ranges.size(), 1u);
+  // No shard should carry more than ~2 targets' worth of occupancy except
+  // the one pinned to the single heavy code (which cannot be split).
+  const std::size_t total = idx.total_indexed();
+  const std::size_t target = total / 8;
+  std::size_t over = 0;
+  for (const std::size_t w : weights) {
+    if (w > 2 * target) ++over;
+  }
+  EXPECT_LE(over, 1u);
+}
+
+TEST(SplitSeedRanges, EmptyIndexFallsBackToUniform) {
+  seqio::SequenceBank bank("empty");
+  bank.add("n", "NNNNNNNNNNNNNNNN");  // no indexable word
+  index::BankIndex idx(bank, index::SeedCoder(6));
+  ASSERT_EQ(idx.total_indexed(), 0u);
+  std::vector<std::size_t> weights;
+  const auto ranges = split_seed_ranges(idx, 4, &weights);
+  EXPECT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges.front().lo, 0u);
+  EXPECT_EQ(ranges.back().hi,
+            static_cast<index::SeedCode>(idx.coder().num_seeds()));
+}
+
+TEST(CompilePlan, CrossProductOfStrandsSlicesAndRanges) {
+  const auto bank = random_bank(23, 4, 500);
+  const auto idx = make_index(bank, 8);
+  PlanRequest req;
+  req.strand = seqio::Strand::kBoth;
+  req.slices = {{0, 2}, {2, 4}};
+  req.threads = 2;
+  req.shards = 4;
+  const auto plan = compile_plan(idx, req);
+  ASSERT_EQ(plan.groups.size(), 4u);  // 2 slices x 2 strands
+  // Slice-major, plus before minus.
+  EXPECT_FALSE(plan.groups[0].minus);
+  EXPECT_TRUE(plan.groups[1].minus);
+  EXPECT_EQ(plan.groups[0].slice.from, 0u);
+  EXPECT_EQ(plan.groups[2].slice.from, 2u);
+  const std::size_t per_group = plan.groups[0].shard_count;
+  EXPECT_GE(per_group, 1u);
+  EXPECT_LE(per_group, 4u);
+  EXPECT_EQ(plan.shards.size(), 4 * per_group);
+  for (const auto& group : plan.groups) {
+    EXPECT_EQ(group.shard_count, per_group);
+  }
+  EXPECT_EQ(plan.shards[plan.groups[3].first_shard].group, 3u);
+}
+
+TEST(CompilePlan, AutoShardsSingleThreadIsOne) {
+  const auto bank = random_bank(29, 2, 400);
+  const auto idx = make_index(bank, 8);
+  PlanRequest req;
+  req.bank2_size = 5;
+  const auto plan = compile_plan(idx, req);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].slice.to, 5u);
+  EXPECT_EQ(plan.shards.size(), 1u);
+}
+
+/// The tentpole invariant: m8 output is byte-identical across shard
+/// counts, thread counts, schedules, and entry paths.
+TEST(Engine, M8ByteIdentityAcrossShardsThreadsSchedules) {
+  simulate::Rng rng(31);
+  const auto hp = simulate::make_homologous_pair(rng, 400, 10, 8, 0.05);
+
+  Options base;
+  base.strand = seqio::Strand::kBoth;
+  const auto reference = Pipeline(base).run(hp.bank1, hp.bank2);
+  std::ostringstream ref_m8;
+  write_result_m8(ref_m8, reference, hp.bank1, hp.bank2);
+  ASSERT_FALSE(ref_m8.str().empty());
+
+  for (const std::size_t shards : {1u, 4u, 16u}) {
+    for (const int threads : {1, 8}) {
+      for (const auto schedule :
+           {util::Schedule::kStatic, util::Schedule::kStealing}) {
+        Options opt = base;
+        opt.shards = shards;
+        opt.threads = threads;
+        opt.schedule = schedule;
+        const auto run = Pipeline(opt).run(hp.bank1, hp.bank2);
+        std::ostringstream m8;
+        write_result_m8(m8, run, hp.bank1, hp.bank2);
+        EXPECT_EQ(m8.str(), ref_m8.str())
+            << "shards=" << shards << " threads=" << threads << " schedule="
+            << (schedule == util::Schedule::kStatic ? "static" : "stealing");
+        EXPECT_EQ(run.stats.hit_pairs, reference.stats.hit_pairs);
+        EXPECT_EQ(run.stats.hsps, reference.stats.hsps);
+      }
+    }
+  }
+}
+
+TEST(Engine, ShardBalanceIsRecorded) {
+  simulate::Rng rng(37);
+  const auto hp = simulate::make_homologous_pair(rng, 600, 8, 6, 0.04);
+  Options opt;
+  opt.shards = 6;
+  opt.threads = 2;
+  const auto run = Pipeline(opt).run(hp.bank1, hp.bank2);
+  const auto& b = run.stats.shard_balance;
+  EXPECT_GE(b.shards, 1u);
+  EXPECT_LE(b.shards, 6u);
+  EXPECT_LE(b.min_seconds, b.median_seconds);
+  EXPECT_LE(b.median_seconds, b.max_seconds);
+  EXPECT_GE(b.total_seconds, b.max_seconds);
+}
+
+/// Satellite fix: with a prebuilt bank1 index the chunked driver used to
+/// fold bank1's numbers into every slice's stats.  The engine accounts
+/// the bank1 index exactly once, so sliced and unsliced runs agree on
+/// all deterministic index stats.
+TEST(Engine, ChunkedStatsCountBank1IndexOnce) {
+  simulate::Rng rng(41);
+  const auto hp = simulate::make_homologous_pair(rng, 400, 12, 8, 0.05);
+  index::BankIndex idx1(hp.bank1, index::SeedCoder(11),
+                        index::IndexOptions{});
+
+  Options popt;
+  popt.dust = false;  // masked_bases stays deterministic (= 0) either way
+  ChunkedOptions copt;
+  copt.pipeline = popt;
+  copt.min_chunks = 4;
+  const auto sliced = run_chunked(idx1, hp.bank2, copt);
+  EXPECT_EQ(sliced.chunks, 4u);
+
+  const auto whole = Pipeline(popt).run(idx1, hp.bank2);
+  EXPECT_EQ(sliced.stats.index_dict_bytes, whole.stats.index_dict_bytes);
+  EXPECT_EQ(sliced.stats.masked_bases, whole.stats.masked_bases);
+  // Chain bytes: bank1's chain once, plus the *largest slice's* chain —
+  // strictly less than the unsliced run's full bank2 chain.
+  EXPECT_LT(sliced.stats.index_chain_bytes, whole.stats.index_chain_bytes);
+  EXPECT_GT(sliced.stats.index_chain_bytes, idx1.chain_bytes());
+}
+
+/// Both-strand runs used to double-count bank1's DUST-masked bases (once
+/// per strand).  The engine masks bank1 once.
+TEST(Engine, BothStrandsMaskBank1Once) {
+  simulate::Rng rng(43);
+  seqio::SequenceBank bank1("b1");
+  // A low-complexity run DUST will mask, plus random context.
+  bank1.add("m", "ATATATATATATATATATATATATATATATATATAT" +
+                     seqio::decode(simulate::random_codes(rng, 400)));
+  const auto bank2 = random_bank(47, 3, 400);
+
+  Options plus_opt;
+  const auto plus = Pipeline(plus_opt).run(bank1, bank2);
+  Options both_opt;
+  both_opt.strand = seqio::Strand::kBoth;
+  const auto both = Pipeline(both_opt).run(bank1, bank2);
+  ASSERT_GT(plus.stats.masked_bases, 0u);
+  // Both-strand masking adds only bank2's reverse complement, never a
+  // second copy of bank1's mask, so the count is below twice the
+  // plus-only number (the old accumulation was >= 2x).
+  EXPECT_LT(both.stats.masked_bases, 2 * plus.stats.masked_bases);
+  EXPECT_GE(both.stats.masked_bases, plus.stats.masked_bases);
+}
+
+TEST(Engine, EmptyBank2YieldsEmptyResult) {
+  const auto bank1 = random_bank(53, 2, 300);
+  seqio::SequenceBank bank2("empty");
+  Options opt;
+  opt.strand = seqio::Strand::kBoth;
+  const auto run = Pipeline(opt).run(bank1, bank2);
+  EXPECT_TRUE(run.alignments.empty());
+  EXPECT_EQ(run.stats.hit_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace scoris::core::exec

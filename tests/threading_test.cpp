@@ -134,4 +134,87 @@ TEST(ParallelChunksStress, LargeRangeCoveredExactlyOnce) {
   }
 }
 
+using scoris::util::run_tasks;
+using scoris::util::Schedule;
+using scoris::util::WorkStealingQueue;
+
+TEST(WorkStealingQueue, HandsOutEveryTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 97;
+  WorkStealingQueue queue(kTasks, 4);
+  std::vector<int> seen(kTasks, 0);
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < queue.workers(); ++w) {
+    workers.emplace_back([&queue, &seen, w] {
+      std::size_t task = 0;
+      while (queue.pop(w, task)) {
+        ++seen[task];
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(seen[i], 1) << "task " << i;
+  }
+}
+
+TEST(WorkStealingQueue, SingleWorkerDrainsInOrder) {
+  WorkStealingQueue queue(5, 1);
+  std::size_t task = 0;
+  for (std::size_t expect = 0; expect < 5; ++expect) {
+    ASSERT_TRUE(queue.pop(0, task));
+    EXPECT_EQ(task, expect);
+  }
+  EXPECT_FALSE(queue.pop(0, task));
+  EXPECT_EQ(queue.stolen(), 0u);
+}
+
+TEST(WorkStealingQueue, IdleWorkerStealsFromLoadedPeer) {
+  // Two workers, all tasks dealt to blocks: worker 1's own half plus
+  // whatever it can steal from worker 0's tail once its deque drains.
+  WorkStealingQueue queue(8, 2);
+  std::size_t task = 0;
+  // Worker 1 drains its own block (tasks 4..7), then steals from 0.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.pop(1, task));
+  ASSERT_TRUE(queue.pop(1, task));
+  EXPECT_EQ(queue.stolen(), 1u);
+  EXPECT_EQ(task, 3u);  // stolen from the *tail* of worker 0's block
+}
+
+class RunTasksSchedules
+    : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(RunTasksSchedules, RunsEveryTaskExactlyOnce) {
+  for (const std::size_t count : {0u, 1u, 7u, 64u}) {
+    for (const std::size_t threads : {0u, 1u, 3u, 8u, 100u}) {
+      std::vector<std::atomic<int>> hits(count);
+      run_tasks(count, threads, GetParam(),
+                [&hits](std::size_t t) {
+                  hits[t].fetch_add(1, std::memory_order_relaxed);
+                });
+      for (std::size_t t = 0; t < count; ++t) {
+        ASSERT_EQ(hits[t].load(), 1)
+            << "count=" << count << " threads=" << threads << " task=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(RunTasksSchedules, SingleThreadRunsInAscendingOrder) {
+  std::vector<std::size_t> order;
+  run_tasks(6, 1, GetParam(),
+            [&order](std::size_t t) { order.push_back(t); });
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, RunTasksSchedules,
+                         ::testing::Values(Schedule::kStatic,
+                                           Schedule::kStealing),
+                         [](const auto& info) {
+                           return info.param == Schedule::kStatic
+                                      ? "Static"
+                                      : "Stealing";
+                         });
+
 }  // namespace
