@@ -1,0 +1,41 @@
+// Minimal out-of-tree consumer: exercises the installed scoris package
+// through the public session API only.  Exits 0 when a resident-index
+// session serves two queries with hits and exactly one reference build.
+#include <scoris/api.hpp>
+
+#include <iostream>
+#include <sstream>
+
+int main() {
+  using namespace scoris;
+
+  seqio::SequenceBank reference = seqio::read_fasta_string(
+      ">r\n"
+      "TTGACCGTAAGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGGACCGTA\n"
+      "AGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGG\n",
+      "reference");
+  const seqio::SequenceBank queries = seqio::read_fasta_string(
+      ">q\n"
+      "TTGACCGTAAGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGG\n",
+      "queries");
+
+  Session session(std::move(reference), Options{});
+
+  std::ostringstream m8;
+  M8Writer writer(m8);
+  session.search(queries, writer);
+
+  CountingSink counter;
+  session.search(queries, counter);
+
+  if (writer.written() == 0 || counter.total() != writer.written() ||
+      session.reference_builds() != 1) {
+    std::cerr << "consumer: unexpected session results\n";
+    return 1;
+  }
+  std::cout << "scoris consumer OK: " << counter.total()
+            << " alignment(s), " << session.reference_builds()
+            << " reference build\n"
+            << m8.str();
+  return 0;
+}

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "align/classic.hpp"
-#include "core/pipeline.hpp"
+#include "scoris/api.hpp"
 #include "simulate/generators.hpp"
 #include "simulate/mutate.hpp"
 #include "simulate/rng.hpp"
@@ -50,14 +50,16 @@ int main(int argc, char** argv) {
   table.add_row({"Gotoh (affine local)", std::to_string(go.score),
                  util::Table::fmt(t.millis(), 1), "O(nm)"});
 
-  // The heuristic: banks of one sequence each through the full pipeline.
+  // The heuristic: banks of one sequence each through the full pipeline
+  // (session API — the reference bank is indexed once at open).
   seqio::SequenceBank b1("b1"), b2("b2");
   b1.add_codes("original", original);
   b2.add_codes("mutated", mutated);
-  core::Options opt;
+  Options opt;
   opt.dust = false;
   t.reset();
-  const core::Result r = core::Pipeline(opt).run(b1, b2);
+  Session session(std::move(b1), opt);
+  const core::Result r = session.search_collect(b2);
   const double heuristic_ms = t.millis();
   std::int64_t best = 0;
   for (const auto& a : r.alignments) best = std::max<std::int64_t>(best, a.score);

@@ -9,9 +9,8 @@
 #include <iostream>
 
 #include "blast/blastn.hpp"
-#include "compare/m8.hpp"
 #include "compare/sensitivity.hpp"
-#include "core/pipeline.hpp"
+#include "scoris/api.hpp"
 #include "simulate/paper_datasets.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
@@ -26,16 +25,20 @@ int main(int argc, char** argv) {
   std::cout << "Generating EST1 and EST2 at scale " << scale
             << " (paper: 6.44 / 6.65 Mbp)...\n";
   const simulate::PaperData data(scale, seed);
-  const auto est1 = data.make("EST1");
+  auto est1_input = data.make("EST1");
   const auto est2 = data.make("EST2");
-  std::cout << "  EST1: " << est1.size() << " sequences, "
-            << est1.stats().mbp() << " Mbp\n";
+  std::cout << "  EST1: " << est1_input.size() << " sequences, "
+            << est1_input.stats().mbp() << " Mbp\n";
   std::cout << "  EST2: " << est2.size() << " sequences, "
             << est2.stats().mbp() << " Mbp\n\n";
 
-  core::Options sopt;
+  // SCORIS-N through the session API: EST1 becomes the resident
+  // reference (indexed once), EST2 streams through as the query bank.
+  Options sopt;
   sopt.threads = threads;
-  const core::Result sr = core::Pipeline(sopt).run(est1, est2);
+  Session session(std::move(est1_input), sopt);
+  const seqio::SequenceBank& est1 = session.reference();
+  const core::Result sr = session.search_collect(est2);
 
   blast::BlastOptions bopt;
   bopt.threads = threads;

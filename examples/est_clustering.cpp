@@ -15,7 +15,7 @@
 #include <numeric>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "scoris/api.hpp"
 #include "simulate/paper_datasets.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
@@ -53,12 +53,16 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(args.get_int("min-length", 100));
 
   const simulate::PaperData data(scale, seed);
-  const auto bank = data.make("EST1");
-  std::cout << "EST1 at scale " << scale << ": " << bank.size()
-            << " sequences, " << bank.stats().mbp() << " Mbp\n";
+  auto est1 = data.make("EST1");
+  std::cout << "EST1 at scale " << scale << ": " << est1.size()
+            << " sequences, " << est1.stats().mbp() << " Mbp\n";
 
-  core::Options opt;
-  const core::Result r = core::Pipeline(opt).run(bank, bank);
+  // Self-comparison via the session API: the bank is indexed once and
+  // then searched against itself (session.reference() is the resident
+  // copy).
+  Session session(std::move(est1), Options{});
+  const seqio::SequenceBank& bank = session.reference();
+  const core::Result r = session.search_collect(bank);
   std::cout << "self-comparison: " << r.alignments.size() << " alignments in "
             << util::Table::fmt(r.stats.total_seconds, 2) << " s\n";
 

@@ -1,27 +1,30 @@
-// Quickstart: the smallest end-to-end use of the SCORIS-N public API.
+// Quickstart: the smallest end-to-end use of the scoris public API.
 //
 //   1. build two banks (from strings here; see scoris_n.cpp for FASTA files)
-//   2. run the ORIS pipeline
-//   3. print the alignments in BLAST -m 8 tabular format
+//   2. open a Session on the reference bank — it is indexed exactly once
+//   3. stream the alignments in BLAST -m 8 tabular format via M8Writer
+//
+// A Session answers any number of search() calls against the resident
+// index; swap the M8Writer for a Collector to get the historical
+// whole-result vector, or a CountingSink to count without retaining.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/pipeline.hpp"
-#include "seqio/fasta.hpp"
+#include "scoris/api.hpp"
 
 int main() {
   using namespace scoris;
 
   // Two tiny "banks". seq A and seq X share a diverged region.
-  const seqio::SequenceBank bank1 = seqio::read_fasta_string(
+  seqio::SequenceBank reference = seqio::read_fasta_string(
       ">A\n"
       "TTGACCGTAAGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGGACCGTAAGCTTGGCA\n"
       "TTCGAGGCTAAGCTTGGCATTCGAGGACCGTAAGCTTGGCATTCGAGG\n"
       ">B\n"
       "CGCGCGTATATAGCGCGCTATATAGCGCGTATATAGCGCGCTATATAGCGCGTATATAG\n",
       "bank1");
-  const seqio::SequenceBank bank2 = seqio::read_fasta_string(
+  const seqio::SequenceBank queries = seqio::read_fasta_string(
       ">X\n"
       "TTGACCGTAAGCTTGGCATTCGAGGCTAAGCTTGGCATTCGAGGACCGTAAGCTTGGCA\n"
       "TTCGAGGCTAAGCTTGGCATTCGAGGACCGTAAGCTTGGCATTCGAGG\n"
@@ -29,20 +32,23 @@ int main() {
       "AGTCAGTCAGGACGGTTACCAGTCAGTCAGGACGGTTACCAGTCAGTCAGGACGGTTAC\n",
       "bank2");
 
-  // Configure the pipeline. Defaults follow the paper: W = 11, e <= 1e-3,
-  // DUST filter on, single strand.
-  core::Options options;
+  // Configure the session. Defaults follow the paper: W = 11, e <= 1e-3,
+  // DUST filter on, single strand.  Options are validated up front —
+  // an invalid configuration throws before anything is indexed.
+  Options options;
   options.w = 11;
   options.max_evalue = 1e-3;
 
-  const core::Pipeline pipeline(options);
-  const core::Result result = pipeline.run(bank1, bank2);
+  // The reference is DUST-masked and indexed here, once.
+  Session session(std::move(reference), options);
 
-  std::cout << "# " << result.alignments.size() << " alignment(s), "
-            << result.stats.hsps << " HSP(s), " << result.stats.hit_pairs
-            << " seed hit(s)\n";
   std::cout << "# qseqid sseqid pident length mismatch gapopen qstart qend "
                "sstart send evalue bitscore\n";
-  core::write_result_m8(std::cout, result, bank1, bank2);
+  M8Writer writer(std::cout);
+  const SearchOutcome outcome = session.search(queries, writer);
+
+  std::cout << "# " << outcome.stats.alignments << " alignment(s), "
+            << outcome.stats.hsps << " HSP(s), " << outcome.stats.hit_pairs
+            << " seed hit(s)\n";
   return 0;
 }

@@ -17,11 +17,7 @@
 #include "align/gapped.hpp"
 #include "blast/blastn.hpp"
 #include "blast/blat_like.hpp"
-#include "compare/m8.hpp"
-#include "core/pipeline.hpp"
-#include "seqio/fasta.hpp"
-#include "seqio/serialize.hpp"
-#include "seqio/strand.hpp"
+#include "scoris/api.hpp"
 #include "util/argparse.hpp"
 
 namespace {
@@ -175,7 +171,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  core::Options opt;
+  Options opt;
   opt.w = static_cast<int>(args.get_int("w", 11));
   opt.max_evalue = args.get_double("evalue", 1e-3);
   opt.asymmetric = args.get_flag("asymmetric");
@@ -184,20 +180,37 @@ int main(int argc, char** argv) {
   opt.threads = static_cast<int>(args.get_int("threads", 1));
   opt.strand = strand;
 
-  const core::Pipeline pipeline(opt);
-  const core::Result r = pipeline.run(bank1, bank2);
-  core::write_result_m8(*out, r, bank1, bank2);
-  if (align_top > 0) {
-    print_full_alignments(*out, r.alignments, bank1, bank2, opt.scoring,
-                          align_top);
+  // The session API: bank1 is indexed once and owned by the session;
+  // the default path streams m8 lines as they become final.  --align
+  // needs the alignment records afterwards, so it collects instead.
+  core::PipelineStats stats;
+  std::size_t alignments = 0;
+  try {
+    Session session(std::move(bank1), opt);
+    if (align_top > 0) {
+      const core::Result r = session.search_collect(bank2);
+      compare::write_m8(*out, r.alignments, session.reference(), bank2);
+      print_full_alignments(*out, r.alignments, session.reference(), bank2,
+                            opt.scoring, align_top);
+      stats = r.stats;
+      alignments = r.alignments.size();
+    } else {
+      M8Writer writer(*out);
+      const SearchOutcome outcome = session.search(bank2, writer);
+      stats = outcome.stats;
+      alignments = writer.written();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   }
   if (want_stats) {
-    std::cerr << "scoris-n: " << r.alignments.size() << " alignments, "
-              << r.stats.hit_pairs << " hits (" << r.stats.order_aborts
-              << " order-aborted), " << r.stats.hsps << " HSPs\n"
-              << "  step1 " << r.stats.index_seconds << "s, step2 "
-              << r.stats.hsp_seconds << "s, step3 " << r.stats.gapped_seconds
-              << "s, total " << r.stats.total_seconds << "s\n";
+    std::cerr << "scoris-n: " << alignments << " alignments, "
+              << stats.hit_pairs << " hits (" << stats.order_aborts
+              << " order-aborted), " << stats.hsps << " HSPs\n"
+              << "  step1 " << stats.index_seconds << "s, step2 "
+              << stats.hsp_seconds << "s, step3 " << stats.gapped_seconds
+              << "s, total " << stats.total_seconds << "s\n";
   }
   return 0;
 }

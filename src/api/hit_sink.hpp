@@ -1,0 +1,7 @@
+// Public-surface alias for the HitSink streaming interface.  The
+// interface itself lives in core/hit_sink.hpp (the exec engine drives
+// it, and core must not depend on api/); the shipped sinks are in
+// api/sinks.hpp.
+#pragma once
+
+#include "core/hit_sink.hpp"

@@ -1,0 +1,42 @@
+#include "api/sinks.hpp"
+
+#include <ostream>
+
+#include "compare/m8.hpp"
+
+namespace scoris {
+
+void M8Writer::on_group(std::span<const align::GappedAlignment> hits,
+                        const HitBatch& batch) {
+  // Same conversion + formatting path as compare::write_m8, so the byte
+  // stream cannot drift from the collected-result writer.
+  for (const align::GappedAlignment& a : hits) {
+    *os_ << compare::format_m8(compare::to_m8(a, *batch.bank1, *batch.bank2))
+         << '\n';
+  }
+  written_ += hits.size();
+}
+
+void Collector::on_group(std::span<const align::GappedAlignment> hits,
+                         const HitBatch& /*batch*/) {
+  result_.alignments.insert(result_.alignments.end(), hits.begin(),
+                            hits.end());
+}
+
+void Collector::on_stats(const core::PipelineStats& stats) {
+  result_.stats = stats;
+}
+
+void CountingSink::on_group(std::span<const align::GappedAlignment> hits,
+                            const HitBatch& batch) {
+  total_ += hits.size();
+  ++batches_;
+  saw_last_ |= batch.last;
+}
+
+void CountingSink::on_stats(const core::PipelineStats& stats) {
+  stats_ = stats;
+  have_stats_ = true;
+}
+
+}  // namespace scoris

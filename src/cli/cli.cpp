@@ -11,9 +11,9 @@
 #include <string>
 #include <vector>
 
-#include "compare/m8.hpp"
-#include "core/chunked.hpp"
-#include "core/pipeline.hpp"
+#include "api/session.hpp"
+#include "api/sinks.hpp"
+#include "core/options.hpp"
 #include "seqio/fasta.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "seqio/serialize.hpp"
@@ -34,7 +34,7 @@ const std::vector<std::string>& known_flags() {
       "bank1",   "bank2",      "out",   "w",       "threads",
       "strand",  "evalue",     "dust",  "no-dust", "asymmetric",
       "s1",      "stats",      "help",  "version", "shards",
-      "schedule",
+      "schedule", "memory-budget-mb",
   };
   return kKnown;
 }
@@ -69,7 +69,9 @@ seqio::SequenceBank load_bank(const std::string& path) {
 /// Strict numeric flag parsing: Args::get_int/get_double silently fall back
 /// on unparsable text, which would let a typo like `--evalue 1e-3x` run with
 /// the default. Reject instead, and range-check before narrowing so huge
-/// values cannot wrap into the valid range.
+/// values cannot wrap into the valid range.  The range check goes through
+/// core::check_range — the same helper Options::validate() uses — so the
+/// CLI and the library reject with identical diagnostics.
 bool parse_int_flag(const util::Args& args, const std::string& name,
                     std::int64_t lo, std::int64_t hi, int& value,
                     std::ostream& err) {
@@ -80,9 +82,8 @@ bool parse_int_flag(const util::Args& args, const std::string& name,
         << args.get(name) << "'\n";
     return false;
   }
-  if (*v < lo || *v > hi) {
-    err << "error: --" << name << " must be in [" << lo << ", " << hi
-        << "], got " << *v << '\n';
+  if (const auto issue = core::check_range(name, *v, lo, hi)) {
+    err << "error: " << issue->message << '\n';
     return false;
   }
   value = static_cast<int>(*v);
@@ -140,39 +141,68 @@ bool reject_unknown_flags(const util::Args& args,
   return true;
 }
 
-/// Flags shared by the flat compare form and `scoris search`.
+/// Map a parsed CliConfig onto core::Options and validate.  Options::
+/// validate() (plus set_strand/set_schedule for the name-to-enum maps)
+/// is the single source of truth for what is legal, so the CLI rejects
+/// exactly what Session's constructor would reject — every diagnostic is
+/// printed as "error: <message>" and the caller exits 2.
+bool build_options(const CliConfig& config, core::Options& options,
+                   std::ostream& err) {
+  options = core::Options{};
+  options.w = config.w;
+  options.threads = config.threads;
+  options.shards = config.shards;
+  options.min_hsp_score = config.min_hsp_score;
+  options.max_evalue = config.max_evalue;
+  options.dust = config.dust;
+  options.asymmetric = config.asymmetric;
+
+  bool ok = true;
+  const auto report = [&](const std::optional<core::OptionIssue>& issue) {
+    if (issue) {
+      err << "error: " << issue->message << '\n';
+      ok = false;
+    }
+  };
+  report(core::set_strand(options, config.strand));
+  report(core::set_schedule(options, config.schedule));
+  for (const core::OptionIssue& issue : options.validate()) {
+    err << "error: " << issue.message << '\n';
+    ok = false;
+  }
+  return ok;
+}
+
+/// Flags shared by the flat compare form and `scoris search`.  Numeric
+/// values are parsed strictly (and range-checked through the same
+/// core::check_range the library validator uses); names and the
+/// assembled option set are validated by build_options afterwards.
 bool parse_search_options(const util::Args& args, CliConfig& config,
                           std::ostream& err) {
   config.out_path = args.get("out");
-  if (!parse_int_flag(args, "w", 4, 14, config.w, err)) return false;
-  if (!parse_int_flag(args, "threads", 1, 1024, config.threads, err)) {
+  if (!parse_int_flag(args, "w", core::Options::kMinW, core::Options::kMaxW,
+                      config.w, err)) {
     return false;
   }
-  if (!parse_int_flag(args, "s1", 0, 1000000000, config.min_hsp_score, err)) {
+  if (!parse_int_flag(args, "threads", core::Options::kMinThreads,
+                      core::Options::kMaxThreads, config.threads, err)) {
+    return false;
+  }
+  if (!parse_int_flag(args, "s1", 0, core::Options::kMaxHspScore,
+                      config.min_hsp_score, err)) {
     return false;
   }
   if (!parse_double_flag(args, "evalue", config.max_evalue, err)) return false;
-  if (!(config.max_evalue > 0.0)) {
-    err << "error: --evalue must be positive, got " << args.get("evalue")
-        << '\n';
-    return false;
-  }
 
   config.strand = args.get("strand", config.strand);
-  if (config.strand != "plus" && config.strand != "minus" &&
-      config.strand != "both") {
-    err << "error: --strand must be plus, minus or both, got '"
-        << config.strand << "'\n";
-    return false;
-  }
-
-  if (!parse_size_flag(args, "shards", 0, 1000000, config.shards, err)) {
+  if (!parse_size_flag(args, "shards", 0,
+                       static_cast<int>(core::Options::kMaxShards),
+                       config.shards, err)) {
     return false;
   }
   config.schedule = args.get("schedule", config.schedule);
-  if (config.schedule != "static" && config.schedule != "stealing") {
-    err << "error: --schedule must be static or stealing, got '"
-        << config.schedule << "'\n";
+  if (!parse_size_flag(args, "memory-budget-mb", 1, 1 << 20,
+                       config.memory_budget_mb, err)) {
     return false;
   }
 
@@ -180,25 +210,8 @@ bool parse_search_options(const util::Args& args, CliConfig& config,
   if (args.get_flag("no-dust")) config.dust = false;
   config.asymmetric = args.get_flag("asymmetric");
   config.stats = args.get_flag("stats");
-  return true;
-}
 
-core::Options pipeline_options(const CliConfig& config) {
-  core::Options options;
-  options.w = config.w;
-  options.threads = config.threads;
-  options.shards = config.shards;
-  options.schedule = config.schedule == "static"
-                         ? util::Schedule::kStatic
-                         : util::Schedule::kStealing;
-  options.min_hsp_score = config.min_hsp_score;
-  options.max_evalue = config.max_evalue;
-  options.dust = config.dust;
-  options.asymmetric = config.asymmetric;
-  options.strand = config.strand == "minus"  ? seqio::Strand::kMinus
-                   : config.strand == "both" ? seqio::Strand::kBoth
-                                             : seqio::Strand::kPlus;
-  return options;
+  return build_options(config, config.options, err);
 }
 
 void print_stats(std::ostream& err, const core::PipelineStats& s,
@@ -263,6 +276,30 @@ bool flush_sink(const CliConfig& config, std::ostream& sink,
   return true;
 }
 
+/// Report the per-query streaming summary + stats (shared by the flat
+/// and search drivers).
+void print_outcome_stats(std::ostream& err, const CliConfig& config,
+                         const SearchOutcome& outcome) {
+  if (config.memory_budget_mb > 0) {
+    err << "scoris: streamed bank2 in " << outcome.slices
+        << " slice(s) under a " << config.memory_budget_mb
+        << " MB index budget\n";
+  }
+  print_stats(err, outcome.stats, outcome.stats.alignments);
+}
+
+/// Streaming writes m8 lines before the run completes, so a mid-run
+/// pipeline failure would otherwise leave a truncated (but well-formed)
+/// --out file behind.  Restore the old all-or-nothing file contract by
+/// truncating it; stdout streaming is inherently incremental and is
+/// covered by the exit code.
+void discard_partial_output(const CliConfig& config,
+                            std::ofstream& out_file) {
+  if (config.out_path.empty()) return;
+  out_file.close();
+  std::ofstream(config.out_path, std::ios::trunc);
+}
+
 int run_compare(const CliConfig& config, std::ostream& out,
                 std::ostream& err) {
   seqio::SequenceBank bank1;
@@ -279,41 +316,34 @@ int run_compare(const CliConfig& config, std::ostream& out,
   std::ostream* sink = nullptr;
   if (!open_sink(config, out, out_file, sink, err)) return kRuntimeError;
 
-  const core::Pipeline pipeline(pipeline_options(config));
-  core::Result result;
   try {
-    result = pipeline.run(bank1, bank2);
+    // One-shot session: the reference is indexed once and m8 lines
+    // stream to the sink as they become final instead of accumulating.
+    Session session(std::move(bank1), config.options);
+    M8Writer writer(*sink);
+    SearchLimits limits;
+    limits.memory_budget_bytes =
+        static_cast<std::size_t>(config.memory_budget_mb) << 20;
+    const SearchOutcome outcome = session.search(bank2, writer, limits);
+    if (!flush_sink(config, *sink, err)) return kRuntimeError;
+    if (config.stats) print_outcome_stats(err, config, outcome);
   } catch (const std::exception& e) {
+    discard_partial_output(config, out_file);
     err << "error: pipeline failed: " << e.what() << '\n';
     return kRuntimeError;
-  }
-
-  core::write_result_m8(*sink, result, bank1, bank2);
-  if (!flush_sink(config, *sink, err)) return kRuntimeError;
-
-  if (config.stats) {
-    print_stats(err, result.stats, result.alignments.size());
   }
   return kOk;
 }
 
 int run_search(const CliConfig& config, std::ostream& out,
                std::ostream& err) {
-  const core::Options options = pipeline_options(config);
-
-  store::IndexStore loaded;
+  // Session's store constructor enforces that a payload matches this
+  // search's effective settings; anything else silently changes the seed
+  // set, so it throws with a diagnostic listing the available payloads.
+  std::optional<Session> session;
   seqio::SequenceBank bank2;
-  const index::BankIndex* idx1 = nullptr;
   try {
-    loaded = store::load_index(config.index_path);
-    // The bank1 index must have been built with exactly the settings this
-    // search runs with; anything else silently changes the seed set.
-    store::IndexKey want;
-    want.w = options.effective_w();
-    want.stride = 1;
-    want.dust = options.dust;
-    want.dust_params = options.dust_params;
-    idx1 = &loaded.require(want);
+    session.emplace(store::load_index(config.index_path), config.options);
     bank2 = load_bank(config.bank2_path);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';
@@ -324,37 +354,18 @@ int run_search(const CliConfig& config, std::ostream& out,
   std::ostream* sink = nullptr;
   if (!open_sink(config, out, out_file, sink, err)) return kRuntimeError;
 
-  std::vector<align::GappedAlignment> alignments;
-  core::PipelineStats stats;
   try {
-    if (config.memory_budget_mb > 0) {
-      core::ChunkedOptions copt;
-      copt.pipeline = options;
-      copt.memory_budget_bytes = config.memory_budget_mb << 20;
-      core::ChunkedResult result = core::run_chunked(*idx1, bank2, copt);
-      alignments = std::move(result.alignments);
-      stats = result.stats;
-      if (config.stats) {
-        err << "scoris: streamed bank2 in " << result.chunks
-            << " slice(s) under a " << config.memory_budget_mb
-            << " MB index budget\n";
-      }
-    } else {
-      const core::Pipeline pipeline(options);
-      core::Result result = pipeline.run(*idx1, bank2);
-      alignments = std::move(result.alignments);
-      stats = result.stats;
-    }
+    M8Writer writer(*sink);
+    SearchLimits limits;
+    limits.memory_budget_bytes =
+        static_cast<std::size_t>(config.memory_budget_mb) << 20;
+    const SearchOutcome outcome = session->search(bank2, writer, limits);
+    if (!flush_sink(config, *sink, err)) return kRuntimeError;
+    if (config.stats) print_outcome_stats(err, config, outcome);
   } catch (const std::exception& e) {
+    discard_partial_output(config, out_file);
     err << "error: pipeline failed: " << e.what() << '\n';
     return kRuntimeError;
-  }
-
-  compare::write_m8(*sink, alignments, loaded.bank(), bank2);
-  if (!flush_sink(config, *sink, err)) return kRuntimeError;
-
-  if (config.stats) {
-    print_stats(err, stats, alignments.size());
   }
   return kOk;
 }
@@ -418,6 +429,8 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "  --no-dust       shorthand for --dust false\n"
      << "  --asymmetric    10-nt words, stride-2 index on bank2\n"
      << "  --s1 SCORE      minimum HSP raw score (default 25)\n"
+     << "  --memory-budget-mb N   stream bank2 in slices under N MB of\n"
+     << "                  index memory (default: no slicing)\n"
      << "  --stats         print per-step statistics to stderr\n"
      << "  --help          show this message and exit\n"
      << "  --version       show version and exit\n";
@@ -535,10 +548,6 @@ bool parse_search_cli(int argc, const char* const* argv, CliConfig& config,
   config.bank2_path = args.get("bank2");
   if (config.index_path.empty() || config.bank2_path.empty()) {
     err << "error: both --index and --bank2 are required\n";
-    return false;
-  }
-  if (!parse_size_flag(args, "memory-budget-mb", 1, 1 << 20,
-                       config.memory_budget_mb, err)) {
     return false;
   }
   if (!parse_search_options(args, config, err)) return false;

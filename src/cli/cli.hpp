@@ -5,15 +5,19 @@
 //   scoris index --bank ref.fa --out ref.scix    # prebuild a .scix artifact
 //   scoris search --index ref.scix --bank2 b.fa  # compare against artifact
 //
-// Wires util::Args -> FASTA/.scob/.scix loading -> core::Pipeline -> m8
-// output.  The whole driver lives in the library (not in main.cpp) so the
-// test suite can run it in-process with captured streams and asserted exit
-// codes.
+// Wires util::Args -> FASTA/.scob/.scix loading -> scoris::Session ->
+// streaming M8Writer output.  Option values are validated by
+// core::Options::validate() (the same check Session's constructor runs),
+// so the CLI and the library reject identical configurations.  The whole
+// driver lives in the library (not in main.cpp) so the test suite can run
+// it in-process with captured streams and asserted exit codes.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+
+#include "core/options.hpp"
 
 namespace scoris::cli {
 
@@ -44,9 +48,14 @@ struct CliConfig {
   bool stats = false;
   bool help = false;
   bool version = false;
-  /// search only: when > 0, stream bank2 in slices so the two in-memory
-  /// indexes stay under this budget (core::run_chunked).
+  /// When > 0, stream bank2 in slices so the two in-memory indexes stay
+  /// under this budget (SearchLimits::memory_budget_bytes); available on
+  /// both the flat compare form and `search`.
   std::size_t memory_budget_mb = 0;
+  /// The validated option set the drivers execute with — filled (and
+  /// checked via core::Options::validate) during parsing, so a config
+  /// that parsed successfully is guaranteed runnable.
+  core::Options options;
 };
 
 /// What `scoris index` parsed from argv.  (Stride-subsampled payloads

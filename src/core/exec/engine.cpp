@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 #include <tuple>
+#include <utility>
 
 #include "core/chunked.hpp"
 #include "core/ordered_extend.hpp"
@@ -40,14 +41,24 @@ stats::KarlinParams group_karlin(const ExecRequest& request,
       freqs));
 }
 
+/// Minimal internal collector for the vector-result wrapper.  (The
+/// public Collector lives in api/sinks.hpp, a layer above this one.)
+struct VectorSink final : HitSink {
+  std::vector<align::GappedAlignment> alignments;
+  void on_group(std::span<const align::GappedAlignment> hits,
+                const HitBatch& /*batch*/) override {
+    alignments.insert(alignments.end(), hits.begin(), hits.end());
+  }
+};
+
 }  // namespace
 
-ExecResult execute(const ExecRequest& request) {
+ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   const Options& options = request.options;
   const seqio::SequenceBank& bank1 = *request.bank1;
   const seqio::SequenceBank& bank2 = *request.bank2;
 
-  ExecResult result;
+  ExecSummary result;
   PipelineStats& st = result.stats;
   util::WallTimer total;
 
@@ -87,6 +98,14 @@ ExecResult execute(const ExecRequest& request) {
   result.groups = plan.groups.size();
   result.slices = request.slices.empty() ? 1 : request.slices.size();
 
+  // With more than one group, kGlobal delivery must wait for the
+  // deterministic cross-group merge (the best hit can come from the last
+  // group); a lone group is already in final order and streams as soon
+  // as it finishes.  kGroupLocal always streams — bounded by the largest
+  // group — at the cost of group-major output order.
+  const bool stream_groups = request.ordering == HitOrdering::kGroupLocal ||
+                             plan.groups.size() <= 1;
+
   SeedScanParams scan_params;
   scan_params.scoring = options.scoring;
   scan_params.min_hsp_score = options.min_hsp_score;
@@ -97,6 +116,9 @@ ExecResult execute(const ExecRequest& request) {
   std::size_t peak_idx2_dict = 0;
   std::size_t peak_idx2_chain = 0;
   std::size_t peak_subject_positions = 0;
+  std::vector<align::GappedAlignment> pending;  // kGlobal multi-group only
+  std::size_t emitted = 0;
+  std::size_t batches = 0;
 
   // ---- groups, sequentially (one slice index in memory at a time) --------
   // Groups are slice-major (plus, then minus, of the same slice), so the
@@ -142,24 +164,30 @@ ExecResult execute(const ExecRequest& request) {
     // ---- step 2: shards on the scheduler ---------------------------------
     util::WallTimer t2;
     std::vector<SeedScanResult> partials(group.shard_count);
-    util::run_tasks(
-        group.shard_count, static_cast<std::size_t>(plan.threads),
-        plan.schedule, [&](std::size_t s) {
-          const std::size_t id = group.first_shard + s;
-          const Shard& shard = plan.shards[id];
-          util::WallTimer ts;
-          scan_seed_range(idx1, idx2, scan_params, shard.codes.lo,
-                          shard.codes.hi, partials[s]);
-          ShardStats sample;
-          sample.group = gid;
-          sample.codes = shard.codes;
-          sample.weight = shard.weight;
-          sample.seconds = ts.seconds();
-          sample.hit_pairs = partials[s].hit_pairs;
-          sample.order_aborts = partials[s].order_aborts;
-          sample.hsps = partials[s].hsps.size();
-          reducer.record(id, sample);
-        });
+    const auto run_shard = [&](std::size_t s) {
+      const std::size_t id = group.first_shard + s;
+      const Shard& shard = plan.shards[id];
+      util::WallTimer ts;
+      scan_seed_range(idx1, idx2, scan_params, shard.codes.lo,
+                      shard.codes.hi, partials[s]);
+      ShardStats sample;
+      sample.group = gid;
+      sample.codes = shard.codes;
+      sample.weight = shard.weight;
+      sample.seconds = ts.seconds();
+      sample.hit_pairs = partials[s].hit_pairs;
+      sample.order_aborts = partials[s].order_aborts;
+      sample.hsps = partials[s].hsps.size();
+      reducer.record(id, sample);
+    };
+    if (request.pool != nullptr) {
+      util::run_tasks(*request.pool, group.shard_count, plan.schedule,
+                      run_shard);
+    } else {
+      util::run_tasks(group.shard_count,
+                      static_cast<std::size_t>(plan.threads), plan.schedule,
+                      run_shard);
+    }
 
     // Concatenating in ascending code-range order reproduces the
     // sequential enumeration exactly (the order rule keeps ranges
@@ -197,6 +225,7 @@ ExecResult execute(const ExecRequest& request) {
     gopt.max_evalue = options.max_evalue;
     gopt.max_gap_extent = options.max_gap_extent;
     gopt.threads = options.threads;
+    gopt.pool = request.pool;
     const stats::KarlinParams karlin =
         group_karlin(request, bank1, subject);
     GappedStageStats gstats;
@@ -221,17 +250,42 @@ ExecResult execute(const ExecRequest& request) {
         a.s2 = a.s2 - delta_src + delta_dst;
         a.e2 = a.e2 - delta_src + delta_dst;
       }
-      result.alignments.push_back(a);
     }
     st.gapped_seconds += t3.seconds();
+
+    // ---- deliver or buffer -----------------------------------------------
+    if (stream_groups) {
+      HitBatch batch;
+      batch.bank1 = request.bank1;
+      batch.bank2 = request.bank2;
+      batch.index = batches++;
+      batch.last = gid + 1 == plan.groups.size();
+      sink.on_group(alignments, batch);
+      emitted += alignments.size();
+    } else {
+      pending.insert(pending.end(), alignments.begin(), alignments.end());
+    }
   }
 
   // ---- merge --------------------------------------------------------------
-  // A single group is already in step-4 order (the gapped stage sorts);
-  // multiple groups concatenate in plan order and re-sort.
-  if (plan.groups.size() > 1) {
-    std::sort(result.alignments.begin(), result.alignments.end(),
-              step4_less);
+  // Buffered groups concatenate in plan order and re-sort into the
+  // canonical step-4 order before the single delivery.
+  if (!stream_groups) {
+    std::sort(pending.begin(), pending.end(), step4_less);
+    HitBatch batch;
+    batch.bank1 = request.bank1;
+    batch.bank2 = request.bank2;
+    batch.index = batches++;
+    batch.last = true;
+    sink.on_group(pending, batch);
+    emitted += pending.size();
+  } else if (batches == 0) {
+    // Zero-group plans still owe the sink its final (empty) delivery.
+    HitBatch batch;
+    batch.bank1 = request.bank1;
+    batch.bank2 = request.bank2;
+    batch.last = true;
+    sink.on_group({}, batch);
   }
 
   st.hit_pairs = reducer.total_hit_pairs();
@@ -242,8 +296,20 @@ ExecResult execute(const ExecRequest& request) {
   st.index_dict_bytes = idx1.dictionary_bytes() + peak_idx2_dict;
   st.index_chain_bytes = idx1.chain_bytes() + peak_idx2_chain;
   st.index_positions = bank1.data_size() + peak_subject_positions;
-  st.alignments = result.alignments.size();
+  st.alignments = emitted;
   st.total_seconds = total.seconds();
+  sink.on_stats(st);
+  return result;
+}
+
+ExecResult execute(const ExecRequest& request) {
+  VectorSink sink;
+  ExecSummary summary = execute(request, sink);
+  ExecResult result;
+  result.alignments = std::move(sink.alignments);
+  result.stats = std::move(summary.stats);
+  result.groups = summary.groups;
+  result.slices = summary.slices;
   return result;
 }
 

@@ -10,9 +10,11 @@
 //            for minus groups), masked, indexed, its seed-code shards run
 //            on the static or work-stealing scheduler, and the group's
 //            HSPs feed the gapped stage;
-//   merge    group alignments are remapped to bank2-global coordinates,
-//            concatenated in plan order, and (when more than one group
-//            ran) re-sorted with the step-4 comparator.
+//   merge    group alignments are remapped to bank2-global coordinates
+//            and delivered to the HitSink — immediately per group when
+//            the ordering allows (single-group plans, or
+//            HitOrdering::kGroupLocal), otherwise concatenated in plan
+//            order and re-sorted with the step-4 comparator first.
 //
 // Determinism: shard outputs concatenate in ascending seed-code order, so
 // the HSP stream — and therefore the m8 output — is byte-identical for
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "core/exec/plan.hpp"
+#include "core/hit_sink.hpp"
 #include "core/pipeline.hpp"
 
 namespace scoris::core::exec {
@@ -44,6 +47,18 @@ struct ExecRequest {
   /// Base Karlin-Altschul parameters (composition_stats re-solves per
   /// group from the actual bank compositions).
   stats::KarlinParams karlin;
+  /// Delivery order for the sink-driven execute (see HitOrdering).
+  HitOrdering ordering = HitOrdering::kGlobal;
+  /// Reusable worker pool (a Session's); nullptr = spawn workers per
+  /// scheduling point as before.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// What a sink-driven run reports besides the alignments it streamed.
+struct ExecSummary {
+  PipelineStats stats;
+  std::size_t groups = 0;  ///< (strand x slice) groups executed
+  std::size_t slices = 0;  ///< bank2 slices in the plan
 };
 
 struct ExecResult {
@@ -53,8 +68,13 @@ struct ExecResult {
   std::size_t slices = 0;  ///< bank2 slices in the plan
 };
 
-/// Compile and run the comparison.  Throws std::invalid_argument on a
-/// word-length mismatch with `prebuilt1`.
+/// Compile and run the comparison, streaming alignments through `sink`
+/// (at least one on_group call, then exactly one on_stats).  Throws
+/// std::invalid_argument on a word-length mismatch with `prebuilt1`.
+ExecSummary execute(const ExecRequest& request, HitSink& sink);
+
+/// Collector-backed wrapper preserving the historical whole-result
+/// vector; the legacy Pipeline::run* entry points are shims over this.
 [[nodiscard]] ExecResult execute(const ExecRequest& request);
 
 }  // namespace scoris::core::exec

@@ -177,7 +177,11 @@ std::vector<GappedAlignment> gapped_stage(std::vector<Hsp>& hsps,
 
   std::vector<GappedAlignment> result;
   const std::size_t num_slices = starts.empty() ? 0 : starts.size() - 1;
-  if (options.threads <= 1 || num_slices <= 1) {
+  const std::size_t workers = options.pool != nullptr
+                                  ? options.pool->thread_count()
+                                  : static_cast<std::size_t>(
+                                        std::max(1, options.threads));
+  if (workers <= 1 || num_slices <= 1) {
     for (std::size_t s = 0; s < num_slices; ++s) {
       process_slice(keyed.data() + starts[s], starts[s + 1] - starts[s], bank1,
                     bank2, karlin, options, result, st);
@@ -185,15 +189,18 @@ std::vector<GappedAlignment> gapped_stage(std::vector<Hsp>& hsps,
   } else {
     std::vector<std::vector<GappedAlignment>> partial(num_slices);
     std::vector<GappedStageStats> partial_stats(num_slices);
-    util::parallel_chunks(
-        0, num_slices, static_cast<std::size_t>(options.threads),
-        [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t s = lo; s < hi; ++s) {
-            process_slice(keyed.data() + starts[s], starts[s + 1] - starts[s],
-                          bank1, bank2, karlin, options, partial[s],
-                          partial_stats[s]);
-          }
-        });
+    const auto run_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t s = lo; s < hi; ++s) {
+        process_slice(keyed.data() + starts[s], starts[s + 1] - starts[s],
+                      bank1, bank2, karlin, options, partial[s],
+                      partial_stats[s]);
+      }
+    };
+    if (options.pool != nullptr) {
+      util::parallel_chunks(*options.pool, 0, num_slices, run_range);
+    } else {
+      util::parallel_chunks(0, num_slices, workers, run_range);
+    }
     for (std::size_t s = 0; s < num_slices; ++s) {
       result.insert(result.end(), partial[s].begin(), partial[s].end());
       st.skipped_contained += partial_stats[s].skipped_contained;

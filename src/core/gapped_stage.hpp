@@ -17,6 +17,10 @@
 #include "seqio/sequence_bank.hpp"
 #include "stats/karlin.hpp"
 
+namespace scoris::util {
+class ThreadPool;
+}  // namespace scoris::util
+
 namespace scoris::core {
 
 struct GappedStageOptions {
@@ -24,6 +28,9 @@ struct GappedStageOptions {
   double max_evalue = 1e-3;
   std::size_t max_gap_extent = 1u << 20;
   int threads = 1;
+  /// Reusable worker pool (a Session's); when set it supersedes
+  /// `threads` and no threads are spawned per call.
+  util::ThreadPool* pool = nullptr;
   /// NCBI-style effective-length correction: shrink m and n by the
   /// expected HSP length before computing e-values.  Off for SCORIS-N
   /// (the paper's plain m*n formula); on for the BLASTN baseline — the

@@ -1,0 +1,7 @@
+#include "core/hit_sink.hpp"
+
+namespace scoris {
+
+void HitSink::on_stats(const core::PipelineStats& /*stats*/) {}
+
+}  // namespace scoris

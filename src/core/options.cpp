@@ -1,0 +1,88 @@
+#include "core/options.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace scoris::core {
+
+std::optional<OptionIssue> check_range(std::string_view field,
+                                       std::int64_t value, std::int64_t lo,
+                                       std::int64_t hi) {
+  if (value >= lo && value <= hi) return std::nullopt;
+  std::ostringstream msg;
+  msg << "--" << field << " must be in [" << lo << ", " << hi << "], got "
+      << value;
+  return OptionIssue{std::string(field), msg.str()};
+}
+
+std::vector<OptionIssue> Options::validate() const {
+  std::vector<OptionIssue> issues;
+  const auto add = [&issues](std::optional<OptionIssue> issue) {
+    if (issue) issues.push_back(std::move(*issue));
+  };
+
+  add(check_range("w", w, kMinW, kMaxW));
+  add(check_range("threads", threads, kMinThreads, kMaxThreads));
+  add(check_range("shards", static_cast<std::int64_t>(shards), 0,
+                  static_cast<std::int64_t>(kMaxShards)));
+  add(check_range("s1", min_hsp_score, 0, kMaxHspScore));
+  if (!(max_evalue > 0.0) || !std::isfinite(max_evalue)) {
+    std::ostringstream msg;
+    msg << "--evalue must be positive, got " << max_evalue;
+    issues.push_back({"evalue", msg.str()});
+  }
+  if (max_gap_extent == 0) {
+    issues.push_back(
+        {"max_gap_extent", "max_gap_extent must be positive, got 0"});
+  }
+  if (dust && dust_params.window < 3) {
+    std::ostringstream msg;
+    msg << "dust window must be >= 3, got " << dust_params.window;
+    issues.push_back({"dust_params.window", msg.str()});
+  }
+  return issues;
+}
+
+void Options::validate_or_throw() const {
+  const std::vector<OptionIssue> issues = validate();
+  if (issues.empty()) return;
+  std::string joined = "invalid options: ";
+  for (std::size_t i = 0; i < issues.size(); ++i) {
+    if (i > 0) joined += "; ";
+    joined += issues[i].message;
+  }
+  throw std::invalid_argument(joined);
+}
+
+std::optional<OptionIssue> set_strand(Options& options,
+                                      std::string_view name) {
+  if (name == "plus") {
+    options.strand = seqio::Strand::kPlus;
+  } else if (name == "minus") {
+    options.strand = seqio::Strand::kMinus;
+  } else if (name == "both") {
+    options.strand = seqio::Strand::kBoth;
+  } else {
+    std::ostringstream msg;
+    msg << "--strand must be plus, minus or both, got '" << name << "'";
+    return OptionIssue{"strand", msg.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<OptionIssue> set_schedule(Options& options,
+                                        std::string_view name) {
+  if (name == "static") {
+    options.schedule = util::Schedule::kStatic;
+  } else if (name == "stealing") {
+    options.schedule = util::Schedule::kStealing;
+  } else {
+    std::ostringstream msg;
+    msg << "--schedule must be static or stealing, got '" << name << "'";
+    return OptionIssue{"schedule", msg.str()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace scoris::core

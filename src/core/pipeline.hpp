@@ -16,7 +16,12 @@
 // Pipeline is a thin frontend: every entry path (flat, prebuilt index,
 // sliced/chunked, both strands) compiles to an exec::ExecutionPlan of
 // (strand x bank2-slice x seed-code-range) shards and runs on the shared
-// execution engine in core/exec/.
+// execution engine in core/exec/.  The engine streams alignments through
+// a HitSink (see core/hit_sink.hpp); the run* methods here are
+// compatibility shims over a Collector sink that restore the historical
+// whole-result vector.  New code should prefer scoris::Session
+// (api/session.hpp), which keeps one reference index resident across
+// queries and streams output in bounded memory.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +34,7 @@
 #include "core/exec/plan.hpp"
 #include "core/exec/shard_stats.hpp"
 #include "core/gapped_stage.hpp"
+#include "core/options.hpp"
 #include "filter/dust.hpp"
 #include "index/bank_index.hpp"
 #include "seqio/sequence_bank.hpp"
@@ -36,42 +42,6 @@
 #include "stats/karlin.hpp"
 
 namespace scoris::core {
-
-struct Options {
-  int w = 11;                ///< seed length (paper default: 11-nt)
-  bool asymmetric = false;   ///< 10-nt words, bank2 indexed with stride 2
-  align::ScoringParams scoring;
-  int min_hsp_score = 25;    ///< S1: raw-score threshold for keeping HSPs
-  double max_evalue = 1e-3;  ///< S2 expressed as an e-value cutoff
-  bool dust = true;          ///< low-complexity filter before indexing
-  filter::DustParams dust_params;
-  /// Which strands of bank2 to search.  The paper's prototype is
-  /// plus-only (-S 1, section 3.3) and names minus-strand search as the
-  /// next release's feature; kBoth reruns steps 1-3 on the reverse
-  /// complement and merges.
-  seqio::Strand strand = seqio::Strand::kPlus;
-  int threads = 1;
-  /// Step-2 seed-code shards per (strand x slice) group.  0 = auto: one
-  /// shard single-threaded, otherwise threads * 8.  Boundaries adapt to
-  /// the bank1 dictionary's occupancy histogram (see core/exec/plan.hpp);
-  /// the m8 output is invariant under this knob.
-  std::size_t shards = 0;
-  /// How shards are assigned to workers (static round-robin or
-  /// work-stealing).  Output-invariant, like `shards`.
-  util::Schedule schedule = util::Schedule::kStealing;
-  std::size_t max_gap_extent = 1u << 20;
-  /// Ablation switch (bench A1): when false, step 2 uses the plain
-  /// unordered extension and duplicates are removed by sort+unique, the
-  /// way a naive implementation would.
-  bool enforce_order = true;
-  /// Solve Karlin-Altschul parameters from the banks' actual base
-  /// composition instead of uniform 0.25 (affects e-values on GC-skewed
-  /// data; off by default to match the paper's prototype).
-  bool composition_stats = false;
-
-  /// Effective word length (asymmetric mode drops to 10-nt).
-  [[nodiscard]] int effective_w() const { return asymmetric ? 10 : w; }
-};
 
 struct PipelineStats {
   double index_seconds = 0.0;

@@ -1,0 +1,26 @@
+// Umbrella header for the scoris public API.
+//
+// Out-of-tree consumers install the library (`cmake --install`) and
+// write
+//
+//     #include <scoris/api.hpp>
+//
+//     scoris::Session session = scoris::Session::open("ref.scix");
+//     scoris::M8Writer sink(std::cout);
+//     session.search(queries, sink);
+//
+// See docs/API.md for the quickstart and the migration notes from the
+// legacy Pipeline::run* entry points.
+#pragma once
+
+#include "api/hit_sink.hpp"
+#include "api/session.hpp"
+#include "api/sinks.hpp"
+#include "compare/m8.hpp"
+#include "core/chunked.hpp"
+#include "core/options.hpp"
+#include "core/pipeline.hpp"
+#include "seqio/fasta.hpp"
+#include "seqio/sequence_bank.hpp"
+#include "seqio/serialize.hpp"
+#include "store/index_store.hpp"

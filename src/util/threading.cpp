@@ -75,6 +75,26 @@ void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
   pool.wait_idle();
 }
 
+void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t chunks_per_thread) {
+  if (end <= begin) return;
+  const std::size_t span = end - begin;
+  const std::size_t threads = pool.thread_count();
+  if (threads <= 1 || span == 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunks =
+      std::min(span, std::max<std::size_t>(1, threads * chunks_per_thread));
+  const std::size_t step = (span + chunks - 1) / chunks;
+  for (std::size_t lo = begin; lo < end; lo += step) {
+    const std::size_t hi = std::min(end, lo + step);
+    pool.submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.wait_idle();
+}
+
 WorkStealingQueue::WorkStealingQueue(std::size_t count, std::size_t workers)
     : deques_(std::max<std::size_t>(1, workers)) {
   const std::size_t n = deques_.size();
@@ -139,6 +159,34 @@ void run_tasks(std::size_t count, std::size_t threads, Schedule schedule,
     return;
   }
   for (auto& worker : workers) worker.join();
+}
+
+void run_tasks(ThreadPool& pool, std::size_t count, Schedule schedule,
+               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t n = std::min(pool.thread_count(), count);
+  if (n <= 1) {
+    for (std::size_t t = 0; t < count; ++t) fn(t);
+    return;
+  }
+
+  if (schedule == Schedule::kStatic) {
+    for (std::size_t w = 0; w < n; ++w) {
+      pool.submit([&fn, w, n, count] {
+        for (std::size_t t = w; t < count; t += n) fn(t);
+      });
+    }
+    pool.wait_idle();
+    return;
+  }
+  WorkStealingQueue queue(count, n);
+  for (std::size_t w = 0; w < n; ++w) {
+    pool.submit([&fn, &queue, w] {
+      std::size_t task = 0;
+      while (queue.pop(w, task)) fn(task);
+    });
+  }
+  pool.wait_idle();
 }
 
 }  // namespace scoris::util

@@ -67,6 +67,14 @@ void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
                      const std::function<void(std::size_t, std::size_t)>& fn,
                      std::size_t chunks_per_thread = 4);
 
+/// Same, on an existing pool instead of spawning one — a long-lived
+/// session amortizes thread creation across queries.  The caller must be
+/// the pool's only submitter until the call returns (it waits for the
+/// pool to go idle).
+void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t chunks_per_thread = 4);
+
 /// Per-worker deques of task indexes with tail stealing.
 ///
 /// Tasks [0, count) are dealt to `workers` deques in contiguous blocks.
@@ -109,6 +117,13 @@ class WorkStealingQueue {
 /// written to per-task slots is schedule- and thread-count-invariant.
 /// With `threads <= 1` tasks run inline in ascending order.
 void run_tasks(std::size_t count, std::size_t threads, Schedule schedule,
+               const std::function<void(std::size_t)>& fn);
+
+/// Same, on an existing pool (worker count = pool.thread_count()).  Task
+/// assignment and output placement are identical to the spawning
+/// overload, so results stay schedule- and pool-invariant.  The caller
+/// must be the pool's only submitter until the call returns.
+void run_tasks(ThreadPool& pool, std::size_t count, Schedule schedule,
                const std::function<void(std::size_t)>& fn);
 
 }  // namespace scoris::util

@@ -1,0 +1,368 @@
+// Tests for the public streaming API (scoris::Session + HitSink):
+// streamed-vs-collected byte identity across the thread/shard/strand/
+// chunked matrix, session reuse (the reference index is built exactly
+// once), per-query SearchLimits, sink delivery contracts, and
+// Options::validate() as the single source of truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "api/sinks.hpp"
+#include "core/chunked.hpp"
+#include "core/pipeline.hpp"
+#include "simulate/generators.hpp"
+#include "simulate/rng.hpp"
+#include "store/index_store.hpp"
+
+namespace scoris {
+namespace {
+
+/// A homologous bank pair with enough hits (both strands) to make byte
+/// comparisons meaningful.
+struct Banks {
+  seqio::SequenceBank bank1{"b1"};
+  seqio::SequenceBank bank2{"b2"};
+};
+
+Banks make_banks(std::uint64_t seed = 31) {
+  simulate::Rng rng(seed);
+  const auto hp = simulate::make_homologous_pair(rng, 400, 10, 8, 0.05);
+  Banks banks;
+  banks.bank1 = hp.bank1;
+  banks.bank2 = hp.bank2;
+  return banks;
+}
+
+/// The pre-redesign reference: Pipeline::run + write_result_m8.
+std::string legacy_m8(const Banks& banks, const core::Options& options) {
+  const core::Result result =
+      core::Pipeline(options).run(banks.bank1, banks.bank2);
+  std::ostringstream os;
+  core::write_result_m8(os, result, banks.bank1, banks.bank2);
+  return os.str();
+}
+
+std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// Build a .scix store for `bank` in memory (default key = W 11, DUST).
+store::IndexStore make_store(const seqio::SequenceBank& bank) {
+  const store::IndexKey key;
+  std::ostringstream os;
+  store::write_index(os, bank, {&key, 1});
+  std::istringstream is(os.str());
+  return store::load_index(is, "api_test store");
+}
+
+// --- streaming equivalence ---------------------------------------------------
+
+/// The acceptance matrix: M8Writer-streamed output is byte-identical to
+/// Collector + write_result_m8 — and to the pre-redesign pipeline — for
+/// threads{1,8} x shards{1,16} x strand both.
+TEST(SessionStreaming, M8WriterMatchesCollectorAcrossMatrix) {
+  const Banks banks = make_banks();
+  core::Options base;
+  base.strand = seqio::Strand::kBoth;
+  const std::string reference = legacy_m8(banks, base);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int threads : {1, 8}) {
+    for (const std::size_t shards : {1u, 16u}) {
+      core::Options options = base;
+      options.threads = threads;
+      options.shards = shards;
+
+      Session session(banks.bank1, options);
+
+      std::ostringstream streamed;
+      M8Writer writer(streamed);
+      const SearchOutcome outcome = session.search(banks.bank2, writer);
+
+      const core::Result collected = session.search_collect(banks.bank2);
+      std::ostringstream gathered;
+      core::write_result_m8(gathered, collected, session.reference(),
+                            banks.bank2);
+
+      EXPECT_EQ(streamed.str(), reference)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(gathered.str(), reference)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(writer.written(), collected.alignments.size());
+      EXPECT_EQ(outcome.stats.alignments, collected.alignments.size());
+    }
+  }
+}
+
+/// Chunked-from-.scix: a store-backed session streaming bank2 in slices
+/// under a tight budget stays byte-identical to the flat run.
+TEST(SessionStreaming, ChunkedFromStoreMatchesFlat) {
+  const Banks banks = make_banks(37);
+  core::Options base;
+  base.strand = seqio::Strand::kBoth;
+  const std::string reference = legacy_m8(banks, base);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int threads : {1, 8}) {
+    core::Options options = base;
+    options.threads = threads;
+    Session session(make_store(banks.bank1), options);
+    EXPECT_EQ(session.reference_builds(), 0u);  // adopted, never rebuilt
+
+    SearchLimits limits;
+    limits.min_chunks = 4;  // force multiple slices whatever the sizes
+    std::ostringstream streamed;
+    M8Writer writer(streamed);
+    const SearchOutcome outcome =
+        session.search(banks.bank2, writer, limits);
+    EXPECT_GE(outcome.slices, 4u);
+    EXPECT_EQ(streamed.str(), reference) << "threads=" << threads;
+  }
+}
+
+/// A byte-budget (not just min_chunks) also slices and stays identical.
+TEST(SessionStreaming, MemoryBudgetSlicesAndMatches) {
+  const Banks banks = make_banks(41);
+  const std::string reference = legacy_m8(banks, core::Options{});
+
+  Session session(banks.bank1, core::Options{});
+  SearchLimits limits;
+  // Far below the W=11 dictionary: forces per-sequence slices.
+  limits.memory_budget_bytes = 1u << 20;
+  std::ostringstream streamed;
+  M8Writer writer(streamed);
+  const SearchOutcome outcome = session.search(banks.bank2, writer, limits);
+  EXPECT_GT(outcome.slices, 1u);
+  EXPECT_EQ(streamed.str(), reference);
+}
+
+/// kGroupLocal streams per group: same line set, group-major order, and
+/// identical bytes whenever the plan has a single group.
+TEST(SessionStreaming, GroupLocalOrderingIsAPermutation) {
+  const Banks banks = make_banks(43);
+  core::Options options;
+  options.strand = seqio::Strand::kBoth;
+  const std::string reference = legacy_m8(banks, options);
+
+  Session session(banks.bank1, options);
+  SearchLimits limits;
+  limits.ordering = HitOrdering::kGroupLocal;
+  std::ostringstream streamed;
+  M8Writer writer(streamed);
+  session.search(banks.bank2, writer, limits);
+  EXPECT_EQ(sorted_lines(streamed.str()), sorted_lines(reference));
+
+  // Single group (plus strand, unsliced): streaming is already in the
+  // canonical order, so even kGroupLocal is byte-identical.
+  core::Options plus;
+  Session plus_session(banks.bank1, plus);
+  std::ostringstream plus_streamed;
+  M8Writer plus_writer(plus_streamed);
+  plus_session.search(banks.bank2, plus_writer, limits);
+  EXPECT_EQ(plus_streamed.str(), legacy_m8(banks, plus));
+}
+
+// --- session reuse -----------------------------------------------------------
+
+/// One session, many queries: the reference index is built exactly once,
+/// and the second query's stats do not re-incur the build.
+TEST(SessionReuse, ReferenceIndexedExactlyOnce) {
+  const Banks banks = make_banks(47);
+  simulate::Rng rng(48);
+  seqio::SequenceBank other("other");
+  for (int i = 0; i < 4; ++i) {
+    other.add_codes("o" + std::to_string(i),
+                    simulate::random_codes(rng, 300));
+  }
+
+  core::Options options;
+  options.threads = 4;
+  Session session(banks.bank1, options);
+  EXPECT_EQ(session.reference_builds(), 1u);
+  EXPECT_EQ(session.searches(), 0u);
+
+  CountingSink first;
+  const SearchOutcome o1 = session.search(banks.bank2, first);
+  CountingSink second;
+  const SearchOutcome o2 = session.search(banks.bank2, second);
+  CountingSink third;
+  session.search(other, third);
+
+  // Still exactly one reference build after three queries.
+  EXPECT_EQ(session.reference_builds(), 1u);
+  EXPECT_EQ(session.searches(), 3u);
+  // Identical queries report identical deterministic index stats...
+  EXPECT_EQ(o1.stats.index_bytes, o2.stats.index_bytes);
+  EXPECT_EQ(o1.stats.index_dict_bytes, o2.stats.index_dict_bytes);
+  EXPECT_EQ(o1.stats.masked_bases, o2.stats.masked_bases);
+  EXPECT_EQ(first.total(), second.total());
+  // ...and the one-time build cost is charged to the first query only:
+  // the sink-observed (engine-level) stats never include it, and the
+  // second outcome equals its sink's numbers exactly.
+  EXPECT_DOUBLE_EQ(o2.stats.index_seconds, second.stats().index_seconds);
+  EXPECT_DOUBLE_EQ(
+      o1.stats.index_seconds,
+      first.stats().index_seconds + session.reference_build_seconds());
+}
+
+/// The same session answers different queries and per-query limits
+/// (strand overrides) without re-preparing anything.
+TEST(SessionReuse, PerQueryStrandOverride) {
+  const Banks banks = make_banks(53);
+  Session session(banks.bank1, core::Options{});
+
+  SearchLimits both;
+  both.strand = seqio::Strand::kBoth;
+  std::ostringstream streamed;
+  M8Writer writer(streamed);
+  session.search(banks.bank2, writer, both);
+
+  core::Options both_options;
+  both_options.strand = seqio::Strand::kBoth;
+  EXPECT_EQ(streamed.str(), legacy_m8(banks, both_options));
+  // The session's own options are untouched by the per-query override.
+  EXPECT_EQ(session.options().strand, seqio::Strand::kPlus);
+  EXPECT_EQ(session.reference_builds(), 1u);
+}
+
+TEST(SessionReuse, OpenDispatchesOnExtension) {
+  const Banks banks = make_banks(59);
+  const std::string dir = ::testing::TempDir();
+  const std::string fasta = dir + "api_open_ref.fa";
+  {
+    std::ofstream os(fasta);
+    for (std::size_t i = 0; i < banks.bank1.size(); ++i) {
+      os << '>' << banks.bank1.seq_name(i) << '\n'
+         << seqio::decode(banks.bank1.codes(i)) << '\n';
+    }
+  }
+  Session from_file = Session::open(fasta);
+  EXPECT_EQ(from_file.reference_builds(), 1u);
+  std::ostringstream streamed;
+  M8Writer writer(streamed);
+  from_file.search(banks.bank2, writer);
+  EXPECT_EQ(streamed.str(), legacy_m8(banks, core::Options{}));
+  std::remove(fasta.c_str());
+}
+
+/// Store-backed sessions refuse settings with no matching payload —
+/// identically to `scoris search`.
+TEST(SessionReuse, StoreSettingsMismatchThrows) {
+  const Banks banks = make_banks(61);
+  core::Options wrong;
+  wrong.w = 9;  // store holds only the W=11 payload
+  EXPECT_THROW(Session(make_store(banks.bank1), wrong), std::runtime_error);
+}
+
+// --- sink contract -----------------------------------------------------------
+
+TEST(SinkContract, EverySearchEndsWithLastBatchAndStats) {
+  const Banks banks = make_banks(67);
+  core::Options options;
+  options.strand = seqio::Strand::kBoth;
+  Session session(banks.bank1, options);
+
+  CountingSink global;
+  session.search(banks.bank2, global);
+  EXPECT_TRUE(global.saw_last());
+  EXPECT_TRUE(global.have_stats());
+  EXPECT_EQ(global.batches(), 1u);  // kGlobal multi-group: one delivery
+
+  CountingSink local;
+  SearchLimits limits;
+  limits.ordering = HitOrdering::kGroupLocal;
+  const SearchOutcome outcome = session.search(banks.bank2, local, limits);
+  EXPECT_TRUE(local.saw_last());
+  EXPECT_EQ(local.batches(), outcome.groups);  // one delivery per group
+  EXPECT_EQ(local.total(), global.total());
+  EXPECT_EQ(local.stats().alignments, local.total());
+}
+
+TEST(SinkContract, EmptyQueryStillDeliversFinalBatch) {
+  const Banks banks = make_banks(71);
+  Session session(banks.bank1, core::Options{});
+  const seqio::SequenceBank empty("empty");
+  CountingSink sink;
+  session.search(empty, sink);
+  EXPECT_TRUE(sink.saw_last());
+  EXPECT_TRUE(sink.have_stats());
+  EXPECT_EQ(sink.total(), 0u);
+}
+
+// --- Options::validate -------------------------------------------------------
+
+TEST(OptionsValidate, DefaultsAreValid) {
+  EXPECT_TRUE(core::Options{}.validate().empty());
+  EXPECT_NO_THROW(core::Options{}.validate_or_throw());
+}
+
+TEST(OptionsValidate, ReportsEveryIssueWithFieldNames) {
+  core::Options options;
+  options.w = 99;
+  options.threads = 0;
+  options.shards = core::Options::kMaxShards + 1;
+  options.min_hsp_score = -1;
+  options.max_evalue = -1.0;
+  const auto issues = options.validate();
+  ASSERT_EQ(issues.size(), 5u);
+  std::vector<std::string> fields;
+  for (const auto& issue : issues) fields.push_back(issue.field);
+  const std::vector<std::string> expected = {"w", "threads", "shards", "s1",
+                                             "evalue"};
+  EXPECT_EQ(fields, expected);
+  for (const auto& issue : issues) {
+    EXPECT_NE(issue.message.find("--" + issue.field), std::string::npos)
+        << issue.message;
+  }
+}
+
+TEST(OptionsValidate, ValidateOrThrowJoinsMessages) {
+  core::Options options;
+  options.w = 2;
+  options.max_evalue = 0.0;
+  try {
+    options.validate_or_throw();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--w"), std::string::npos) << what;
+    EXPECT_NE(what.find("--evalue"), std::string::npos) << what;
+  }
+}
+
+TEST(OptionsValidate, SessionRejectsInvalidOptions) {
+  const Banks banks = make_banks(73);
+  core::Options bad;
+  bad.threads = -5;
+  EXPECT_THROW(Session(banks.bank1, bad), std::invalid_argument);
+}
+
+TEST(OptionsValidate, StrandAndScheduleNamesAreCentral) {
+  core::Options options;
+  EXPECT_FALSE(core::set_strand(options, "minus").has_value());
+  EXPECT_EQ(options.strand, seqio::Strand::kMinus);
+  EXPECT_FALSE(core::set_schedule(options, "static").has_value());
+  EXPECT_EQ(options.schedule, util::Schedule::kStatic);
+
+  const auto bad_strand = core::set_strand(options, "up");
+  ASSERT_TRUE(bad_strand.has_value());
+  EXPECT_EQ(bad_strand->field, "strand");
+  EXPECT_NE(bad_strand->message.find("plus, minus or both"),
+            std::string::npos);
+  const auto bad_schedule = core::set_schedule(options, "round-robin");
+  ASSERT_TRUE(bad_schedule.has_value());
+  EXPECT_EQ(bad_schedule->field, "schedule");
+}
+
+}  // namespace
+}  // namespace scoris

@@ -277,6 +277,36 @@ TEST_F(CliTest, BooleanFlagSwallowingAFilenameIsDiagnosed) {
   EXPECT_NE(r.err.find("--stats does not take a value"), std::string::npos);
 }
 
+TEST_F(CliTest, FlatMemoryBudgetStreamingMatchesUnbudgeted) {
+  // Satellite: the flat --bank1/--bank2 form exposes --memory-budget-mb
+  // too.  A 1 MB budget cannot hold the 16 MB W=11 dictionary, forcing
+  // per-sequence slices of bank2; output must not change.
+  const CliResult whole =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--strand", "both"});
+  const CliResult budgeted =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--strand", "both",
+               "--memory-budget-mb", "1"});
+  ASSERT_EQ(whole.exit_code, kOk) << whole.err;
+  ASSERT_EQ(budgeted.exit_code, kOk) << budgeted.err;
+  ASSERT_FALSE(whole.out.empty());
+  EXPECT_EQ(budgeted.out, whole.out);
+
+  // --stats reports the streaming plan.
+  const CliResult stats =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--memory-budget-mb",
+               "1", "--stats"});
+  ASSERT_EQ(stats.exit_code, kOk) << stats.err;
+  EXPECT_NE(stats.err.find("slice(s) under a 1 MB index budget"),
+            std::string::npos)
+      << stats.err;
+
+  // Same validation as the search form: 0 is out of range.
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                     "--memory-budget-mb", "0"})
+                .exit_code,
+            kUsage);
+}
+
 TEST_F(CliTest, MissingInputFileExitsOne) {
   const CliResult r =
       run_cli({"--bank1", dir_ + "definitely_missing.fa", "--bank2", bank2_});

@@ -208,6 +208,41 @@ TEST_P(RunTasksSchedules, SingleThreadRunsInAscendingOrder) {
   for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
 }
 
+/// The pool-reusing overload (a Session's persistent workers) runs every
+/// task exactly once, repeatedly, on the same pool.
+TEST_P(RunTasksSchedules, PoolOverloadRunsEveryTaskExactlyOnceAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    for (const std::size_t count : {0u, 1u, 7u, 64u}) {
+      std::vector<std::atomic<int>> hits(count);
+      run_tasks(pool, count, GetParam(),
+                [&hits](std::size_t t) {
+                  hits[t].fetch_add(1, std::memory_order_relaxed);
+                });
+      for (std::size_t t = 0; t < count; ++t) {
+        ASSERT_EQ(hits[t].load(), 1)
+            << "round=" << round << " count=" << count << " task=" << t;
+      }
+    }
+  }
+}
+
+TEST(ParallelChunksPool, CoversRangeExactlyOnceAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_chunks(pool, 0, hits.size(),
+                    [&hits](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        hits[i].fetch_add(1, std::memory_order_relaxed);
+                      }
+                    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round=" << round << " i=" << i;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Schedules, RunTasksSchedules,
                          ::testing::Values(Schedule::kStatic,
                                            Schedule::kStealing),
