@@ -124,9 +124,9 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
                                   double default_scale = 0.05) {
   const util::Args args = util::Args::parse(argc, argv);
   BenchArgs out;
-  out.scale = args.get_double("scale", default_scale);
-  out.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  out.threads = static_cast<int>(args.get_int("threads", 1));
+  out.scale = args.get_double_or_exit("scale", default_scale);
+  out.seed = static_cast<std::uint64_t>(args.get_int_or_exit("seed", 42));
+  out.threads = static_cast<int>(args.get_int_or_exit("threads", 1));
   return out;
 }
 

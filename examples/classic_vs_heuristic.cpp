@@ -21,9 +21,9 @@
 int main(int argc, char** argv) {
   using namespace scoris;
   const util::Args args = util::Args::parse(argc, argv);
-  const auto len = static_cast<std::size_t>(args.get_int("len", 3000));
-  const double divergence = args.get_double("divergence", 0.08);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const auto len = static_cast<std::size_t>(args.get_int_or_exit("len", 3000));
+  const double divergence = args.get_double_or_exit("divergence", 0.08);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or_exit("seed", 7));
 
   simulate::Rng rng(seed);
   const auto original = simulate::random_codes(rng, len);

@@ -18,9 +18,9 @@
 int main(int argc, char** argv) {
   using namespace scoris;
   const util::Args args = util::Args::parse(argc, argv);
-  const double scale = args.get_double("scale", 0.02);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const double scale = args.get_double_or_exit("scale", 0.02);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or_exit("seed", 42));
+  const int threads = static_cast<int>(args.get_int_or_exit("threads", 1));
 
   std::cout << "Generating EST1 and EST2 at scale " << scale
             << " (paper: 6.44 / 6.65 Mbp)...\n";

@@ -46,11 +46,11 @@ class UnionFind {
 int main(int argc, char** argv) {
   using namespace scoris;
   const util::Args args = util::Args::parse(argc, argv);
-  const double scale = args.get_double("scale", 0.01);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const double min_identity = args.get_double("min-identity", 94.0);
+  const double scale = args.get_double_or_exit("scale", 0.01);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or_exit("seed", 42));
+  const double min_identity = args.get_double_or_exit("min-identity", 94.0);
   const auto min_length =
-      static_cast<std::uint32_t>(args.get_int("min-length", 100));
+      static_cast<std::uint32_t>(args.get_int_or_exit("min-length", 100));
 
   const simulate::PaperData data(scale, seed);
   auto est1 = data.make("EST1");

@@ -18,8 +18,8 @@
 int main(int argc, char** argv) {
   using namespace scoris;
   const util::Args args = util::Args::parse(argc, argv);
-  const double scale = args.get_double("scale", 0.01);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double scale = args.get_double_or_exit("scale", 0.01);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or_exit("seed", 42));
 
   std::cout << "Generating H19 and VRL at scale " << scale
             << " (paper: 56.03 / 65.84 Mbp)...\n";

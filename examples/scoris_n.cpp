@@ -123,15 +123,15 @@ int main(int argc, char** argv) {
 
   const bool want_stats = args.get_flag("stats");
   const auto strand = parse_strand(args.get("strand", "plus"));
-  const auto align_top = static_cast<std::size_t>(args.get_int("align", 0));
+  const auto align_top = static_cast<std::size_t>(args.get_int_or_exit("align", 0));
 
   if (args.get_flag("baseline")) {
     blast::BlastOptions opt;
-    opt.w = static_cast<int>(args.get_int("w", 11));
-    opt.max_evalue = args.get_double("evalue", 1e-3);
+    opt.w = static_cast<int>(args.get_int_or_exit("w", 11));
+    opt.max_evalue = args.get_double_or_exit("evalue", 1e-3);
     opt.dust = !args.get_flag("no-dust");
-    opt.min_hsp_score = static_cast<int>(args.get_int("s1", 25));
-    opt.threads = static_cast<int>(args.get_int("threads", 1));
+    opt.min_hsp_score = static_cast<int>(args.get_int_or_exit("s1", 25));
+    opt.threads = static_cast<int>(args.get_int_or_exit("threads", 1));
     opt.strand = strand;
     const blast::BlastResult r = blast::BlastN(opt).run(bank1, bank2);
     compare::write_m8(*out, r.alignments, bank1, bank2);
@@ -151,11 +151,11 @@ int main(int argc, char** argv) {
 
   if (args.get_flag("blat")) {
     blast::BlatOptions opt;
-    opt.w = static_cast<int>(args.get_int("w", 11));
-    opt.max_evalue = args.get_double("evalue", 1e-3);
+    opt.w = static_cast<int>(args.get_int_or_exit("w", 11));
+    opt.max_evalue = args.get_double_or_exit("evalue", 1e-3);
     opt.dust = !args.get_flag("no-dust");
-    opt.min_hsp_score = static_cast<int>(args.get_int("s1", 25));
-    opt.threads = static_cast<int>(args.get_int("threads", 1));
+    opt.min_hsp_score = static_cast<int>(args.get_int_or_exit("s1", 25));
+    opt.threads = static_cast<int>(args.get_int_or_exit("threads", 1));
     opt.strand = strand;
     const blast::BlatResult r = blast::BlatLike(opt).run(bank1, bank2);
     compare::write_m8(*out, r.alignments, bank1, bank2);
@@ -172,12 +172,12 @@ int main(int argc, char** argv) {
   }
 
   Options opt;
-  opt.w = static_cast<int>(args.get_int("w", 11));
-  opt.max_evalue = args.get_double("evalue", 1e-3);
+  opt.w = static_cast<int>(args.get_int_or_exit("w", 11));
+  opt.max_evalue = args.get_double_or_exit("evalue", 1e-3);
   opt.asymmetric = args.get_flag("asymmetric");
   opt.dust = !args.get_flag("no-dust");
-  opt.min_hsp_score = static_cast<int>(args.get_int("s1", 25));
-  opt.threads = static_cast<int>(args.get_int("threads", 1));
+  opt.min_hsp_score = static_cast<int>(args.get_int_or_exit("s1", 25));
+  opt.threads = static_cast<int>(args.get_int_or_exit("threads", 1));
   opt.strand = strand;
 
   // The session API: bank1 is indexed once and owned by the session;

@@ -95,6 +95,13 @@ SearchOutcome Session::search(const seqio::SequenceBank& bank2,
   request.bank2 = &bank2;
   request.options = options_;
   if (limits.strand) request.options.strand = *limits.strand;
+  if (limits.delivery_budget_bytes > 0) {
+    request.options.delivery_budget_bytes = limits.delivery_budget_bytes;
+  }
+  if (!limits.tmp_dir.empty()) request.options.tmp_dir = limits.tmp_dir;
+  // Per-query overrides go through the same validation the session
+  // options did, so a bad override is rejected before the engine runs.
+  request.options.validate_or_throw();
   request.karlin = karlin_;
   request.ordering = limits.ordering;
   request.pool = pool_.get();

@@ -62,6 +62,15 @@ struct SearchLimits {
   /// Lower bound on bank2 slices (testing hook; 0 = derive from the
   /// budget alone).
   std::size_t min_chunks = 0;
+  /// Override the session Options' delivery budget for this query
+  /// (bytes; see Options::delivery_budget_bytes).  Bounds the kGlobal
+  /// cross-group merge: sorted group runs spill to temp files over the
+  /// budget and are k-way merged back in bounded head blocks.  0 = use
+  /// the session options' value (whose own 0 means unbounded).
+  std::size_t delivery_budget_bytes = 0;
+  /// Override the session Options' spill directory for this query
+  /// (empty = use the session options' value).
+  std::string tmp_dir;
 };
 
 /// What one search() call reports.  `stats` is also handed to the sink's

@@ -34,7 +34,7 @@ const std::vector<std::string>& known_flags() {
       "bank1",   "bank2",      "out",   "w",       "threads",
       "strand",  "evalue",     "dust",  "no-dust", "asymmetric",
       "s1",      "stats",      "help",  "version", "shards",
-      "schedule", "memory-budget-mb",
+      "schedule", "memory-budget-mb", "delivery-budget-kb", "tmp-dir",
   };
   return kKnown;
 }
@@ -45,7 +45,7 @@ const std::vector<std::string>& known_search_flags() {
       "threads", "strand", "evalue",  "dust",
       "no-dust", "asymmetric", "s1",  "stats",
       "memory-budget-mb", "help",     "shards",
-      "schedule",
+      "schedule", "delivery-budget-kb", "tmp-dir",
   };
   return kKnown;
 }
@@ -156,6 +156,8 @@ bool build_options(const CliConfig& config, core::Options& options,
   options.max_evalue = config.max_evalue;
   options.dust = config.dust;
   options.asymmetric = config.asymmetric;
+  options.delivery_budget_bytes = config.delivery_budget_kb << 10;
+  options.tmp_dir = config.tmp_dir;
 
   bool ok = true;
   const auto report = [&](const std::optional<core::OptionIssue>& issue) {
@@ -205,6 +207,11 @@ bool parse_search_options(const util::Args& args, CliConfig& config,
                        config.memory_budget_mb, err)) {
     return false;
   }
+  if (!parse_size_flag(args, "delivery-budget-kb", 1, 1 << 20,
+                       config.delivery_budget_kb, err)) {
+    return false;
+  }
+  config.tmp_dir = args.get("tmp-dir");
 
   config.dust = args.get_flag("dust", true);
   if (args.get_flag("no-dust")) config.dust = false;
@@ -234,6 +241,16 @@ void print_stats(std::ostream& err, const core::PipelineStats& s,
       << " positions (" << std::fixed << std::setprecision(2) << per_pos
       << " bytes/position incl. SEQ)\n"
       << std::defaultfloat << std::setprecision(6);
+  // Delivery-path buffering: what the engine retained between a group
+  // finishing and the sink receiving its alignments.  The kGlobal
+  // cross-group merge used to be invisible here, undercounting the
+  // worst consumer.
+  err << "  delivery memory: peak " << s.peak_delivery_bytes << " B";
+  if (s.spilled_runs > 0) {
+    err << " (" << s.spilled_runs << " spill run(s), " << s.spill_bytes
+        << " B on disk)";
+  }
+  err << '\n';
   // Scheduler balance: the spread of step-2 shard wall times.  A max far
   // above the median means one seed-code range dominated the step.
   const auto& b = s.shard_balance;
@@ -431,6 +448,11 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "  --s1 SCORE      minimum HSP raw score (default 25)\n"
      << "  --memory-budget-mb N   stream bank2 in slices under N MB of\n"
      << "                  index memory (default: no slicing)\n"
+     << "  --delivery-budget-kb N   bound the multi-group merge's output\n"
+     << "                  buffering to N KB; sorted group runs spill to\n"
+     << "                  temp files over it (default: unbounded)\n"
+     << "  --tmp-dir DIR   directory for spill-run temp files (default:\n"
+     << "                  the system temp directory)\n"
      << "  --stats         print per-step statistics to stderr\n"
      << "  --help          show this message and exit\n"
      << "  --version       show version and exit\n";
@@ -483,6 +505,11 @@ void print_search_usage(std::ostream& os, const std::string& program) {
      << "  --s1 SCORE      minimum HSP raw score (default 25)\n"
      << "  --memory-budget-mb N   stream bank2 in slices under N MB of\n"
      << "                  index memory (default: no slicing)\n"
+     << "  --delivery-budget-kb N   bound the multi-group merge's output\n"
+     << "                  buffering to N KB; sorted group runs spill to\n"
+     << "                  temp files over it (default: unbounded)\n"
+     << "  --tmp-dir DIR   directory for spill-run temp files (default:\n"
+     << "                  the system temp directory)\n"
      << "  --stats         print per-step statistics to stderr\n"
      << "  --help          show this message and exit\n";
 }

@@ -52,6 +52,13 @@ struct CliConfig {
   /// under this budget (SearchLimits::memory_budget_bytes); available on
   /// both the flat compare form and `search`.
   std::size_t memory_budget_mb = 0;
+  /// When > 0, bound the kGlobal cross-group merge's delivery memory
+  /// (Options::delivery_budget_bytes = KB << 10): sorted group runs
+  /// spill to temp files over the budget.  KB granularity so spill
+  /// behaviour is reachable on small banks.
+  std::size_t delivery_budget_kb = 0;
+  /// Spill-run directory (Options::tmp_dir); empty = system temp dir.
+  std::string tmp_dir;
   /// The validated option set the drivers execute with — filled (and
   /// checked via core::Options::validate) during parsing, so a config
   /// that parsed successfully is guaranteed runnable.

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/chunked.hpp"
+#include "core/exec/run_merge.hpp"
 #include "core/ordered_extend.hpp"
 #include "seqio/strand.hpp"
 #include "util/threading.hpp"
@@ -116,7 +117,16 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   std::size_t peak_idx2_dict = 0;
   std::size_t peak_idx2_chain = 0;
   std::size_t peak_subject_positions = 0;
-  std::vector<align::GappedAlignment> pending;  // kGlobal multi-group only
+  // kGlobal multi-group only: each finished group is a sorted run of the
+  // final stream; the merger retains runs under the delivery budget,
+  // spills them over it, and k-way merges at delivery time.
+  std::optional<RunMerger> merger;
+  if (!stream_groups) {
+    RunMergeConfig mcfg;
+    mcfg.budget_bytes = options.delivery_budget_bytes;
+    mcfg.tmp_dir = options.tmp_dir;
+    merger.emplace(std::move(mcfg), plan.groups.size());
+  }
   std::size_t emitted = 0;
   std::size_t batches = 0;
 
@@ -253,8 +263,11 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
     }
     st.gapped_seconds += t3.seconds();
 
-    // ---- deliver or buffer -----------------------------------------------
+    // ---- deliver or add a sorted run -------------------------------------
     if (stream_groups) {
+      st.peak_delivery_bytes =
+          std::max(st.peak_delivery_bytes,
+                   alignments.size() * sizeof(align::GappedAlignment));
       HitBatch batch;
       batch.bank1 = request.bank1;
       batch.bank2 = request.bank2;
@@ -263,22 +276,28 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
       sink.on_group(alignments, batch);
       emitted += alignments.size();
     } else {
-      pending.insert(pending.end(), alignments.begin(), alignments.end());
+      merger->add_run(std::move(alignments));
     }
   }
 
   // ---- merge --------------------------------------------------------------
-  // Buffered groups concatenate in plan order and re-sort into the
-  // canonical step-4 order before the single delivery.
+  // Collected runs are each in final step4_less order; the stable k-way
+  // merge streams the canonical global order through the sink in bounded
+  // batches instead of re-sorting one whole-hit-set vector.
   if (!stream_groups) {
-    std::sort(pending.begin(), pending.end(), step4_less);
     HitBatch batch;
     batch.bank1 = request.bank1;
     batch.bank2 = request.bank2;
-    batch.index = batches++;
-    batch.last = true;
-    sink.on_group(pending, batch);
-    emitted += pending.size();
+    batch.index = batches;
+    emitted += merger->merge(sink, batch);
+    const MergeStats& ms = merger->stats();
+    batches += ms.batches;
+    st.peak_delivery_bytes =
+        std::max(st.peak_delivery_bytes, ms.peak_delivery_bytes);
+    st.spilled_runs += ms.spilled_runs;
+    st.spill_bytes += ms.spill_bytes;
+    result.spilled_runs = ms.spilled_runs;
+    result.spill_bytes = ms.spill_bytes;
   } else if (batches == 0) {
     // Zero-group plans still owe the sink its final (empty) delivery.
     HitBatch batch;

@@ -13,8 +13,10 @@
 //   merge    group alignments are remapped to bank2-global coordinates
 //            and delivered to the HitSink — immediately per group when
 //            the ordering allows (single-group plans, or
-//            HitOrdering::kGroupLocal), otherwise concatenated in plan
-//            order and re-sorted with the step-4 comparator first.
+//            HitOrdering::kGroupLocal), otherwise collected as sorted
+//            runs (in memory under the delivery budget, CRC-framed temp
+//            spill files over it) and streamed through a stable k-way
+//            merge in bounded batches (see core/exec/run_merge.hpp).
 //
 // Determinism: shard outputs concatenate in ascending seed-code order, so
 // the HSP stream — and therefore the m8 output — is byte-identical for
@@ -59,6 +61,11 @@ struct ExecSummary {
   PipelineStats stats;
   std::size_t groups = 0;  ///< (strand x slice) groups executed
   std::size_t slices = 0;  ///< bank2 slices in the plan
+  /// Spill-run counters of the kGlobal cross-group merge (also in
+  /// stats): how many sorted group runs went to temp files and the
+  /// bytes they framed on disk.  0/0 for streamed or in-memory runs.
+  std::size_t spilled_runs = 0;
+  std::size_t spill_bytes = 0;
 };
 
 struct ExecResult {

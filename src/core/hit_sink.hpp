@@ -42,9 +42,13 @@ enum class HitOrdering {
   /// Canonical step-4 global order (increasing e-value, ...), exactly
   /// the historical Result/write_result_m8 output.  Single-group plans
   /// stream the group the moment it finishes; multi-group plans (both
-  /// strands, budget-sliced bank2) must buffer until the deterministic
+  /// strands, budget-sliced bank2) wait for the deterministic
   /// cross-group merge, because the globally best hit can come from the
-  /// last group.
+  /// last group.  That merge is a spill-run k-way merge: each finished
+  /// group is a sorted run, kept in memory under the delivery budget or
+  /// spilled to a CRC-framed temp file over it, so peak delivery memory
+  /// is O(batch + groups x head) instead of the whole hit set (see
+  /// Options::delivery_budget_bytes).
   kGlobal,
   /// Stream every (strand x slice) group the moment it finishes, in
   /// plan order.  Peak output memory is bounded by the largest group
@@ -66,6 +70,12 @@ struct HitBatch {
   const seqio::SequenceBank* bank2 = nullptr;
   std::size_t index = 0;  ///< 0-based delivery index within this search
   bool last = false;      ///< true on the final on_group of the search
+  /// Delivery provenance.  Per-group streaming deliveries come from one
+  /// sorted run (the group itself); batches of the kGlobal cross-group
+  /// merge report how many sorted group runs fed the merged stream and
+  /// how many of those were read back from temp spill files.
+  std::size_t runs = 1;
+  std::size_t spilled_runs = 0;
 };
 
 /// Streaming consumer driven by the exec engine.  Implementations ship

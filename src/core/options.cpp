@@ -32,6 +32,16 @@ std::vector<OptionIssue> Options::validate() const {
     msg << "--evalue must be positive, got " << max_evalue;
     issues.push_back({"evalue", msg.str()});
   }
+  if (delivery_budget_bytes != 0 &&
+      delivery_budget_bytes < kMinDeliveryBudget) {
+    // Only the library API can reach this (the CLI's --delivery-budget-kb
+    // has a 1 KB floor), so the diagnostic names the field, not a flag.
+    std::ostringstream msg;
+    msg << "delivery_budget_bytes must be 0 (unbounded) or at least "
+        << kMinDeliveryBudget << ", got " << delivery_budget_bytes
+        << " (CLI: --delivery-budget-kb)";
+    issues.push_back({"delivery_budget_bytes", msg.str()});
+  }
   if (max_gap_extent == 0) {
     issues.push_back(
         {"max_gap_extent", "max_gap_extent must be positive, got 0"});

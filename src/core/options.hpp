@@ -70,6 +70,16 @@ struct Options {
   /// composition instead of uniform 0.25 (affects e-values on GC-skewed
   /// data; off by default to match the paper's prototype).
   bool composition_stats = false;
+  /// Peak delivery-path memory for the kGlobal cross-group merge
+  /// (bytes).  Each finished group is a sorted run: runs stay in memory
+  /// while they fit half this budget and spill to CRC-framed temp files
+  /// in `tmp_dir` over it; the k-way merge then streams the canonical
+  /// order with bounded head blocks and batches.  0 = unbounded (no
+  /// spilling); the m8 output is invariant under this knob.
+  std::size_t delivery_budget_bytes = 0;
+  /// Directory for spill-run temp files; empty = the system temp
+  /// directory.  Files are removed when the merge finishes.
+  std::string tmp_dir;
 
   /// Effective word length (asymmetric mode drops to 10-nt).
   [[nodiscard]] int effective_w() const { return asymmetric ? 10 : w; }
@@ -84,6 +94,10 @@ struct Options {
   static constexpr int kMaxThreads = 1024;
   static constexpr std::size_t kMaxShards = 1000000;
   static constexpr int kMaxHspScore = 1000000000;
+  /// Smallest meaningful delivery budget: below this even a one-element
+  /// run heap plus a one-element batch cannot fit, so the bound would be
+  /// a lie.  0 stays legal (= unbounded).
+  static constexpr std::size_t kMinDeliveryBudget = 1024;
 
   /// Check every field against the canonical bounds.  Empty = valid.
   [[nodiscard]] std::vector<OptionIssue> validate() const;

@@ -1,10 +1,53 @@
 #include "util/argparse.hpp"
 
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string_view>
 
 namespace scoris::util {
+namespace {
+
+/// One strtoll/strtod wrapper shared by every numeric getter so they all
+/// agree on what "unparsable" means: empty value, trailing garbage, or
+/// ERANGE overflow (strtoll clamps to LLONG_MIN/MAX and strtod returns
+/// +-HUGE_VAL — values the user never typed, which must not be accepted).
+std::optional<std::int64_t> parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  // strtod sets ERANGE for underflow too, but there it returns the
+  // correctly-rounded subnormal — a representable value the user really
+  // typed (e.g. an e-value of 1e-310).  Only overflow to +-HUGE_VAL is
+  // a value they didn't.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+[[noreturn]] void exit_malformed(const std::string& name,
+                                 const std::string& value,
+                                 const char* expected) {
+  std::fprintf(stderr, "error: --%s expects %s, got '%s'\n", name.c_str(),
+               expected, value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 Args Args::parse(int argc, const char* const* argv) {
   Args out;
@@ -42,38 +85,44 @@ std::int64_t Args::get_int(const std::string& name,
                            std::int64_t fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  char* end = nullptr;
-  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  return (end != nullptr && *end == '\0') ? v : fallback;
+  return parse_int(it->second).value_or(fallback);
 }
 
 double Args::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  return (end != nullptr && *end == '\0') ? v : fallback;
+  return parse_double(it->second).value_or(fallback);
 }
 
 std::optional<std::int64_t> Args::get_int_strict(
     const std::string& name) const {
   const auto it = flags_.find(name);
-  if (it == flags_.end() || it->second.empty()) return std::nullopt;
-  errno = 0;
-  char* end = nullptr;
-  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  if (errno == ERANGE || end == nullptr || *end != '\0') return std::nullopt;
-  return v;
+  if (it == flags_.end()) return std::nullopt;
+  return parse_int(it->second);
 }
 
 std::optional<double> Args::get_double_strict(const std::string& name) const {
   const auto it = flags_.find(name);
-  if (it == flags_.end() || it->second.empty()) return std::nullopt;
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (errno == ERANGE || end == nullptr || *end != '\0') return std::nullopt;
-  return v;
+  if (it == flags_.end()) return std::nullopt;
+  return parse_double(it->second);
+}
+
+std::int64_t Args::get_int_or_exit(const std::string& name,
+                                   std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::optional<std::int64_t> v = parse_int(it->second);
+  if (!v) exit_malformed(name, it->second, "an integer");
+  return *v;
+}
+
+double Args::get_double_or_exit(const std::string& name,
+                                double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::optional<double> v = parse_double(it->second);
+  if (!v) exit_malformed(name, it->second, "a number");
+  return *v;
 }
 
 bool Args::get_flag(const std::string& name, bool fallback) const {

@@ -25,10 +25,13 @@ class Args {
                                 const std::string& fallback = "") const;
 
   /// Integer value of a flag, or `fallback` when absent/unparsable.
+  /// Unparsable covers trailing garbage ("4x") AND out-of-range values —
+  /// strtoll's ERANGE clamp must not leak through as a real value.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
 
-  /// Floating-point value of a flag, or `fallback` when absent/unparsable.
+  /// Floating-point value of a flag, or `fallback` when absent/unparsable
+  /// (including overflow to +-HUGE_VAL).
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
 
@@ -39,6 +42,17 @@ class Args {
       const std::string& name) const;
   [[nodiscard]] std::optional<double> get_double_strict(
       const std::string& name) const;
+
+  /// Frontend variants for the bench/example drivers: absent flags fall
+  /// back like get_int/get_double, but a malformed or out-of-range value
+  /// prints "error: --<name> ..." to stderr and exits 2 — a typo like
+  /// `--threads 4x` or an ERANGE-clamped number must never run silently
+  /// with a different value than the user typed.  (The scoris CLI keeps
+  /// its own strict parsing so diagnostics can flow through its streams.)
+  [[nodiscard]] std::int64_t get_int_or_exit(const std::string& name,
+                                             std::int64_t fallback) const;
+  [[nodiscard]] double get_double_or_exit(const std::string& name,
+                                          double fallback) const;
 
   /// True when the flag is present and not explicitly "false"/"0"/"no".
   [[nodiscard]] bool get_flag(const std::string& name,

@@ -172,6 +172,91 @@ TEST(SessionStreaming, GroupLocalOrderingIsAPermutation) {
   EXPECT_EQ(plus_streamed.str(), legacy_m8(banks, plus));
 }
 
+/// The bounded-delivery acceptance case: a spill-forced kGlobal search
+/// (tiny delivery budget, multi-group plan) stays byte-identical to the
+/// unbounded run while the measured peak delivery memory respects the
+/// budget and runs demonstrably went through spill files.
+TEST(SessionStreaming, SpillForcedDeliveryBudgetMatchesAndStaysBounded) {
+  // Forty planted exact matches: enough alignments (~3 KB) to overflow a
+  // 4 KB delivery budget's 2 KB run share however they fragment.
+  simulate::Rng rng(83);
+  Banks banks;
+  for (int i = 0; i < 40; ++i) {
+    const auto codes = simulate::random_codes(rng, 150);
+    banks.bank1.add_codes("q" + std::to_string(i), codes);
+    banks.bank2.add_codes("s" + std::to_string(i), codes);
+  }
+  core::Options options;
+  options.strand = seqio::Strand::kBoth;
+  const std::string reference = legacy_m8(banks, options);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int threads : {1, 8}) {
+    core::Options threaded = options;
+    threaded.threads = threads;
+    Session session(banks.bank1, threaded);
+
+    SearchLimits limits;
+    limits.min_chunks = 4;  // multi-group: 4 slices x both strands
+    limits.delivery_budget_bytes = 4096;
+    limits.tmp_dir = ::testing::TempDir();
+
+    std::ostringstream streamed;
+    M8Writer writer(streamed);
+    CountingSink counter;
+    const SearchOutcome outcome = session.search(banks.bank2, writer, limits);
+    const SearchOutcome counted = session.search(banks.bank2, counter, limits);
+
+    EXPECT_EQ(streamed.str(), reference) << "threads=" << threads;
+    ASSERT_GE(outcome.groups, 8u);
+    // The planted hit set is far bigger than the 2 KB run share, so the
+    // merge must have spilled — and the retained peak stayed bounded.
+    ASSERT_GT(counter.total() * sizeof(align::GappedAlignment),
+              limits.delivery_budget_bytes / 2);
+    EXPECT_GT(counted.stats.spilled_runs, 0u);
+    EXPECT_GT(counted.stats.spill_bytes, 0u);
+    EXPECT_GT(counted.stats.peak_delivery_bytes, 0u);
+    // Precondition for the strict bound (the peak counts the incoming
+    // group buffer at the handoff, which the budget cannot shrink):
+    // every group must fit the run share.  A kGroupLocal run reports
+    // the group sizes; its own peak IS the largest group.
+    SearchLimits local = limits;
+    local.ordering = HitOrdering::kGroupLocal;
+    CountingSink groups_sink;
+    const SearchOutcome local_outcome =
+        session.search(banks.bank2, groups_sink, local);
+    ASSERT_LE(local_outcome.stats.peak_delivery_bytes,
+              limits.delivery_budget_bytes / 2);
+    EXPECT_LE(counted.stats.peak_delivery_bytes,
+              limits.delivery_budget_bytes);
+  }
+}
+
+/// Session options carry the budget too (no per-query limits needed),
+/// and an invalid per-query override is rejected like any bad option.
+TEST(SessionStreaming, DeliveryBudgetViaOptionsAndOverrideValidation) {
+  const Banks banks = make_banks(89);
+  core::Options options;
+  options.strand = seqio::Strand::kBoth;
+  options.delivery_budget_bytes = 4096;
+  options.tmp_dir = ::testing::TempDir();
+  Session session(banks.bank1, options);
+
+  std::ostringstream streamed;
+  M8Writer writer(streamed);
+  session.search(banks.bank2, writer);
+  core::Options plain;
+  plain.strand = seqio::Strand::kBoth;
+  EXPECT_EQ(streamed.str(), legacy_m8(banks, plain));
+
+  // A sub-minimum per-query override must throw before the engine runs.
+  SearchLimits bad;
+  bad.delivery_budget_bytes = 17;  // < Options::kMinDeliveryBudget
+  CountingSink sink;
+  EXPECT_THROW(session.search(banks.bank2, sink, bad),
+               std::invalid_argument);
+}
+
 // --- session reuse -----------------------------------------------------------
 
 /// One session, many queries: the reference index is built exactly once,
@@ -324,6 +409,22 @@ TEST(OptionsValidate, ReportsEveryIssueWithFieldNames) {
     EXPECT_NE(issue.message.find("--" + issue.field), std::string::npos)
         << issue.message;
   }
+}
+
+TEST(OptionsValidate, DeliveryBudgetRule) {
+  core::Options options;
+  options.delivery_budget_bytes = 0;  // unbounded stays legal
+  EXPECT_TRUE(options.validate().empty());
+  options.delivery_budget_bytes = core::Options::kMinDeliveryBudget;
+  EXPECT_TRUE(options.validate().empty());
+  options.delivery_budget_bytes = core::Options::kMinDeliveryBudget - 1;
+  const auto issues = options.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, "delivery_budget_bytes");
+  EXPECT_NE(issues[0].message.find("delivery_budget_bytes"),
+            std::string::npos);
+  EXPECT_NE(issues[0].message.find("--delivery-budget-kb"),
+            std::string::npos);
 }
 
 TEST(OptionsValidate, ValidateOrThrowJoinsMessages) {

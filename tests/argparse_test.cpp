@@ -46,6 +46,56 @@ TEST(ArgsEdge, UnparsableNumbersFallBack) {
   EXPECT_DOUBLE_EQ(a.get_double("d", 2.5), 2.5);
 }
 
+// Regression: get_int used to return strtoll's ERANGE clamp (LLONG_MAX)
+// for out-of-range values — a number the user never typed.  Overflow now
+// counts as unparsable for the non-strict getters too.
+TEST(ArgsEdge, OutOfRangeNumbersFallBackInsteadOfClamping) {
+  const Args a = parse({"prog", "--huge", "99999999999999999999", "--neg",
+                        "-99999999999999999999", "--dhuge", "1e999"});
+  EXPECT_EQ(a.get_int("huge", 42), 42);
+  EXPECT_EQ(a.get_int("neg", 42), 42);
+  EXPECT_DOUBLE_EQ(a.get_double("dhuge", 2.5), 2.5);
+}
+
+// Underflow is not overflow: strtod flags 1e-310 with ERANGE but returns
+// the correctly-rounded subnormal, a representable value the user really
+// typed (think e-values of near-identical long alignments).  All getters
+// accept it.
+TEST(ArgsEdge, SubnormalDoublesAreAccepted) {
+  const Args a = parse({"prog", "--evalue", "1e-310"});
+  EXPECT_GT(a.get_double("evalue", 1.0), 0.0);
+  EXPECT_LT(a.get_double("evalue", 1.0), 1e-300);
+  ASSERT_TRUE(a.get_double_strict("evalue").has_value());
+  EXPECT_GT(a.get_double_or_exit("evalue", 1.0), 0.0);
+}
+
+// The bench/example variants: absent falls back, malformed or
+// out-of-range exits 2 naming the flag instead of running with a value
+// the user never typed.
+TEST(ArgsEdge, OrExitVariantsParseAndFallBack) {
+  const Args a = parse({"prog", "--n", "12", "--d", "1e-3"});
+  EXPECT_EQ(a.get_int_or_exit("n", 0), 12);
+  EXPECT_EQ(a.get_int_or_exit("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double_or_exit("d", 0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(a.get_double_or_exit("absent", 0.25), 0.25);
+}
+
+TEST(ArgsEdgeDeathTest, OrExitRejectsTrailingGarbageWithExit2) {
+  const Args a = parse({"prog", "--threads", "4x"});
+  EXPECT_EXIT((void)a.get_int_or_exit("threads", 1),
+              ::testing::ExitedWithCode(2),
+              "error: --threads expects an integer, got '4x'");
+}
+
+TEST(ArgsEdgeDeathTest, OrExitRejectsOutOfRangeWithExit2) {
+  const Args a = parse({"prog", "--seed", "99999999999999999999", "--scale",
+                        "1e999"});
+  EXPECT_EXIT((void)a.get_int_or_exit("seed", 1),
+              ::testing::ExitedWithCode(2), "error: --seed expects an integer");
+  EXPECT_EXIT((void)a.get_double_or_exit("scale", 1.0),
+              ::testing::ExitedWithCode(2), "error: --scale expects a number");
+}
+
 TEST(ArgsEdge, StrictGettersRejectGarbageAndOverflow) {
   const Args a = parse({"prog", "--n", "12", "--bad", "12x", "--huge",
                         "99999999999999999999", "--d", "1e-3", "--dbad",

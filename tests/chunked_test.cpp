@@ -180,6 +180,69 @@ TEST(Chunked, BudgetDrivesChunkCount) {
   EXPECT_EQ(r_loose.chunks, 1u);
 }
 
+// Regression: a budget at or below bank1's own footprint must not divide
+// by zero; it degrades to the finest legal cut (one sequence per slice),
+// every slice non-empty and the set a partition of [0, size).
+TEST(PlanBudgetSlices, BudgetSmallerThanBank1DegradesToFinestCut) {
+  simulate::Rng rng(619);
+  seqio::SequenceBank b2("b2");
+  for (int i = 0; i < 7; ++i) {
+    b2.add_codes("b" + std::to_string(i), simulate::random_codes(rng, 400));
+  }
+  ChunkedOptions copt;
+  copt.memory_budget_bytes = 1000;  // far below any bank1 index
+  for (const std::size_t bank1_bytes :
+       {std::size_t{1000}, std::size_t{5000}, std::size_t{1} << 30}) {
+    const auto slices = plan_budget_slices(bank1_bytes, b2, copt);
+    ASSERT_EQ(slices.size(), b2.size()) << "bank1_bytes=" << bank1_bytes;
+    std::size_t expect_from = 0;
+    for (const auto& slice : slices) {
+      EXPECT_EQ(slice.from, expect_from);
+      EXPECT_LT(slice.from, slice.to);  // never zero-width
+      expect_from = slice.to;
+    }
+    EXPECT_EQ(expect_from, b2.size());
+  }
+}
+
+// Regression: an empty bank2 yields exactly the one documented empty
+// slice — no division by zero however extreme the budget or min_chunks —
+// and the run over it completes with an empty result.
+TEST(PlanBudgetSlices, EmptyBank2YieldsOneEmptySlice) {
+  const seqio::SequenceBank empty("empty");
+  ChunkedOptions copt;
+  copt.memory_budget_bytes = 0;
+  copt.min_chunks = 64;
+  const auto slices = plan_budget_slices(1u << 30, empty, copt);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].from, 0u);
+  EXPECT_EQ(slices[0].to, 0u);
+
+  simulate::Rng rng(621);
+  seqio::SequenceBank b1("b1");
+  b1.add_codes("a", simulate::random_codes(rng, 500));
+  ChunkedOptions run_opt;
+  run_opt.memory_budget_bytes = 1;
+  const auto r = run_chunked(b1, empty, run_opt);
+  EXPECT_TRUE(r.alignments.empty());
+  EXPECT_EQ(r.chunks, 1u);
+}
+
+// min_chunks above the sequence count clamps to one sequence per slice.
+TEST(PlanBudgetSlices, MinChunksClampsToSequenceCount) {
+  simulate::Rng rng(623);
+  seqio::SequenceBank b2("b2");
+  for (int i = 0; i < 3; ++i) {
+    b2.add_codes("b" + std::to_string(i), simulate::random_codes(rng, 200));
+  }
+  ChunkedOptions copt;
+  copt.memory_budget_bytes = std::size_t{4} << 30;
+  copt.min_chunks = 99;
+  const auto slices = plan_budget_slices(0, b2, copt);
+  ASSERT_EQ(slices.size(), 3u);
+  for (const auto& slice : slices) EXPECT_EQ(slice.to - slice.from, 1u);
+}
+
 TEST(Chunked, SingleSequenceBankCannotSplit) {
   simulate::Rng rng(617);
   seqio::SequenceBank b1("b1"), b2("b2");

@@ -174,6 +174,35 @@ TEST_F(CliTest, ScheduleAndShardFlagsAreValidated) {
             kUsage);
 }
 
+TEST_F(CliTest, DeliveryBudgetFlagIsOutputInvariantAndReported) {
+  const CliResult reference =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--strand", "both"});
+  ASSERT_EQ(reference.exit_code, kOk);
+  ASSERT_FALSE(reference.out.empty());
+
+  // The minimum legal budget forces the kGlobal cross-group merge down
+  // the spill path on any non-trivial hit set; the m8 bytes must not
+  // move, and --stats must now surface the delivery-path peak.
+  const CliResult budgeted =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--strand", "both",
+               "--delivery-budget-kb", "1", "--tmp-dir",
+               ::testing::TempDir(), "--stats"});
+  ASSERT_EQ(budgeted.exit_code, kOk) << budgeted.err;
+  EXPECT_EQ(budgeted.out, reference.out);
+  EXPECT_NE(budgeted.err.find("delivery memory: peak"), std::string::npos)
+      << budgeted.err;
+
+  // Flag validation: zero and garbage are usage errors naming the flag.
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                     "--delivery-budget-kb", "0"})
+                .exit_code,
+            kUsage);
+  const CliResult bad = run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                                 "--delivery-budget-kb", "4x"});
+  EXPECT_EQ(bad.exit_code, kUsage);
+  EXPECT_NE(bad.err.find("--delivery-budget-kb"), std::string::npos);
+}
+
 TEST_F(CliTest, StatsReportShardBalance) {
   const CliResult r = run_cli({"--bank1", bank1_, "--bank2", bank2_,
                                "--shards", "4", "--stats"});

@@ -3,17 +3,24 @@
 // of every entry path under any shard/thread/schedule setting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "compare/m8.hpp"
 #include "core/chunked.hpp"
 #include "core/exec/engine.hpp"
 #include "core/exec/plan.hpp"
+#include "core/exec/run_merge.hpp"
+#include "core/gapped_stage.hpp"
 #include "core/pipeline.hpp"
 #include "simulate/generators.hpp"
 #include "simulate/mutate.hpp"
 #include "simulate/rng.hpp"
+#include "stats/karlin.hpp"
 
 namespace scoris::core::exec {
 namespace {
@@ -243,6 +250,308 @@ TEST(Engine, BothStrandsMaskBank1Once) {
   // plus-only number (the old accumulation was >= 2x).
   EXPECT_LT(both.stats.masked_bases, 2 * plus.stats.masked_bases);
   EXPECT_GE(both.stats.masked_bases, plus.stats.masked_bases);
+}
+
+// --- spill-run k-way merge ---------------------------------------------------
+
+/// Sink recording every delivery (alignments + batch metadata + stats).
+struct RecordingSink final : HitSink {
+  std::vector<align::GappedAlignment> all;
+  std::vector<HitBatch> batches;
+  PipelineStats stats;
+  bool have_stats = false;
+
+  std::vector<std::size_t> batch_sizes;
+
+  void on_group(std::span<const align::GappedAlignment> hits,
+                const HitBatch& batch) override {
+    all.insert(all.end(), hits.begin(), hits.end());
+    batches.push_back(batch);
+    batch_sizes.push_back(hits.size());
+  }
+  void on_stats(const PipelineStats& s) override {
+    stats = s;
+    have_stats = true;
+  }
+};
+
+/// A synthetic step4-sorted run: evalues `start, start+step, ...`.
+std::vector<align::GappedAlignment> synthetic_run(double start, double step,
+                                                  std::size_t n) {
+  std::vector<align::GappedAlignment> run(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    run[i].evalue = start + static_cast<double>(i) * step;
+    run[i].s1 = static_cast<seqio::Pos>(i);
+    run[i].e1 = static_cast<seqio::Pos>(i + 10);
+  }
+  return run;
+}
+
+/// Split [0, n) into up to four contiguous slice ranges.
+std::vector<SliceRange> quarter_slices(std::size_t n) {
+  std::vector<SliceRange> slices;
+  const std::size_t per = std::max<std::size_t>(1, (n + 3) / 4);
+  for (std::size_t from = 0; from < n; from += per) {
+    slices.push_back({from, std::min(n, from + per)});
+  }
+  return slices;
+}
+
+ExecRequest make_request(const simulate::HomologousPair& hp,
+                         const Options& options) {
+  ExecRequest request;
+  request.bank1 = &hp.bank1;
+  request.bank2 = &hp.bank2;
+  request.options = options;
+  request.karlin = stats::karlin_match_mismatch(options.scoring.match,
+                                                options.scoring.mismatch);
+  return request;
+}
+
+std::string alignments_m8(std::vector<align::GappedAlignment> alignments,
+                          const simulate::HomologousPair& hp) {
+  Result result;
+  result.alignments = std::move(alignments);
+  std::ostringstream os;
+  write_result_m8(os, result, hp.bank1, hp.bank2);
+  return os.str();
+}
+
+TEST(SpillRun, RoundTripsThroughBlocks) {
+  const auto run = synthetic_run(1.0, 1.0, 23);
+  std::ostringstream os;
+  const std::uint64_t bytes = write_spill_run(os, run, 5);
+  EXPECT_EQ(bytes, os.str().size());
+
+  std::istringstream is(os.str());
+  SpillRunReader reader(is, "test run");
+  EXPECT_EQ(reader.total(), run.size());
+  EXPECT_EQ(reader.block_elems(), 5u);
+  std::vector<align::GappedAlignment> back;
+  for (auto block = reader.next_block(is); !block.empty();
+       block = reader.next_block(is)) {
+    EXPECT_LE(block.size(), 5u);
+    back.insert(back.end(), block.begin(), block.end());
+  }
+  ASSERT_EQ(back.size(), run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].evalue, run[i].evalue);
+    EXPECT_EQ(back[i].s1, run[i].s1);
+  }
+}
+
+TEST(SpillRun, RejectsCorruptionAndTruncation) {
+  const auto run = synthetic_run(1.0, 1.0, 16);
+  std::ostringstream os;
+  write_spill_run(os, run, 4);
+  const std::string good = os.str();
+
+  // A flipped payload bit must be caught by the section CRC, never merged
+  // into the output stream as a garbage alignment.
+  std::string corrupt = good;
+  corrupt[good.size() / 2] ^= 0x01;
+  {
+    std::istringstream is(corrupt);
+    EXPECT_THROW(
+        {
+          SpillRunReader reader(is, "test run");
+          while (!reader.next_block(is).empty()) {
+          }
+        },
+        std::runtime_error);
+  }
+
+  // A truncated file (lost tail) must read as an error, not a short run.
+  {
+    std::istringstream is(good.substr(0, good.size() - 50));
+    EXPECT_THROW(
+        {
+          SpillRunReader reader(is, "test run");
+          while (!reader.next_block(is).empty()) {
+          }
+        },
+        std::runtime_error);
+  }
+
+  // Not a spill run at all: the header check names the format.
+  {
+    std::istringstream is("definitely not a spill run");
+    EXPECT_THROW(SpillRunReader(is, "test run"), std::runtime_error);
+  }
+}
+
+/// Unit-level merger: tiny budget forces spilling, the merged stream is
+/// globally sorted, peak delivery memory respects the budget, and the
+/// temp files are gone when the merger is.
+TEST(RunMergerUnit, SpillsOverBudgetAndMergesSorted) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "scoris_merge_unit")
+          .string();
+  std::filesystem::create_directories(dir);
+
+  MergeStats stats;
+  {
+    RunMergeConfig config;
+    config.budget_bytes = 2048;
+    config.tmp_dir = dir;
+    RunMerger merger(config, 2);
+    // Two interleaving runs of ~1.4 KB each: both overflow the 1 KB run
+    // share and spill, while each still fits the whole budget at the
+    // add_run handoff (the peak counts that transient buffer too).
+    merger.add_run(synthetic_run(1.0, 2.0, 20));
+    merger.add_run(synthetic_run(2.0, 2.0, 20));
+
+    RecordingSink sink;
+    HitBatch proto;
+    const std::size_t emitted = merger.merge(sink, proto);
+    stats = merger.stats();
+
+    EXPECT_EQ(emitted, 40u);
+    ASSERT_EQ(sink.all.size(), 40u);
+    for (std::size_t i = 0; i < sink.all.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sink.all[i].evalue, 1.0 + static_cast<double>(i));
+    }
+    EXPECT_TRUE(std::is_sorted(sink.all.begin(), sink.all.end(),
+                               step4_less));
+    ASSERT_GE(sink.batches.size(), 2u);  // bounded batches, not one blob
+    for (std::size_t i = 0; i < sink.batches.size(); ++i) {
+      EXPECT_EQ(sink.batches[i].index, i);
+      EXPECT_EQ(sink.batches[i].last, i + 1 == sink.batches.size());
+      EXPECT_EQ(sink.batches[i].runs, 2u);
+      EXPECT_EQ(sink.batches[i].spilled_runs, 2u);
+    }
+  }
+  EXPECT_EQ(stats.runs, 2u);
+  EXPECT_EQ(stats.spilled_runs, 2u);
+  EXPECT_GT(stats.spill_bytes, 0u);
+  EXPECT_GT(stats.peak_delivery_bytes, 0u);
+  // The retained/head/batch shares respect the budget; the handoff
+  // buffer (one run) fits it here too.
+  EXPECT_LE(stats.peak_delivery_bytes, 2048u);
+  // RAII cleanup: no spill file survives the merger.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RunMergerUnit, UnboundedBudgetNeverSpills) {
+  RunMerger merger(RunMergeConfig{}, 3);
+  merger.add_run(synthetic_run(1.0, 2.0, 100));
+  merger.add_run(synthetic_run(2.0, 2.0, 100));
+  merger.add_run({});  // empty runs are dropped
+  RecordingSink sink;
+  EXPECT_EQ(merger.merge(sink, HitBatch{}), 200u);
+  EXPECT_EQ(merger.stats().runs, 2u);
+  EXPECT_EQ(merger.stats().spilled_runs, 0u);
+  EXPECT_EQ(merger.stats().spill_bytes, 0u);
+  EXPECT_TRUE(std::is_sorted(sink.all.begin(), sink.all.end(), step4_less));
+}
+
+TEST(RunMergerUnit, EmptyMergeStillDeliversFinalBatch) {
+  RunMerger merger(RunMergeConfig{}, 0);
+  RecordingSink sink;
+  EXPECT_EQ(merger.merge(sink, HitBatch{}), 0u);
+  ASSERT_EQ(sink.batches.size(), 1u);
+  EXPECT_TRUE(sink.batches[0].last);
+  EXPECT_TRUE(sink.all.empty());
+}
+
+/// The acceptance matrix: kGlobal streamed through the k-way merge is
+/// byte-identical to the pre-change collector semantics (concatenate the
+/// per-group streams in plan order, re-sort with step4_less) across
+/// threads x shards x spill-forced budgets, on a multi-group plan (both
+/// strands x 4 bank2 slices).
+TEST(RunMergeEngine, KGlobalByteIdentityAcrossThreadsShardsAndBudgets) {
+  simulate::Rng rng(61);
+  const auto hp = simulate::make_homologous_pair(rng, 400, 10, 8, 0.05);
+  Options base;
+  base.strand = seqio::Strand::kBoth;
+  const auto slices = quarter_slices(hp.bank2.size());
+  ASSERT_GE(slices.size(), 2u);
+
+  // Pre-change collector reference, rebuilt from kGroupLocal streaming.
+  ExecRequest ref_request = make_request(hp, base);
+  ref_request.slices = slices;
+  ref_request.ordering = HitOrdering::kGroupLocal;
+  RecordingSink ref_sink;
+  execute(ref_request, ref_sink);
+  std::sort(ref_sink.all.begin(), ref_sink.all.end(), step4_less);
+  const std::string reference = alignments_m8(ref_sink.all, hp);
+  ASSERT_FALSE(reference.empty());
+  const std::size_t total_bytes =
+      ref_sink.all.size() * sizeof(align::GappedAlignment);
+  // Largest single group (= largest run the merge will be handed): the
+  // budget provably bounds the peak only while each run fits the run
+  // share, because the incoming handoff buffer itself is counted.
+  std::size_t largest_group_bytes = 0;
+  for (const std::size_t n : ref_sink.batch_sizes) {
+    largest_group_bytes = std::max(
+        largest_group_bytes, n * sizeof(align::GappedAlignment));
+  }
+
+  for (const int threads : {1, 8}) {
+    for (const std::size_t shards : {1u, 16u}) {
+      for (const std::size_t budget : {std::size_t{0}, std::size_t{4096}}) {
+        Options options = base;
+        options.threads = threads;
+        options.shards = shards;
+        options.delivery_budget_bytes = budget;
+        options.tmp_dir = ::testing::TempDir();
+        ExecRequest request = make_request(hp, options);
+        request.slices = slices;
+        request.ordering = HitOrdering::kGlobal;
+
+        RecordingSink sink;
+        const ExecSummary summary = execute(request, sink);
+        EXPECT_EQ(alignments_m8(sink.all, hp), reference)
+            << "threads=" << threads << " shards=" << shards
+            << " budget=" << budget;
+        ASSERT_TRUE(sink.have_stats);
+        ASSERT_FALSE(sink.batches.empty());
+        EXPECT_TRUE(sink.batches.back().last);
+
+        if (budget == 0) {
+          EXPECT_EQ(summary.spilled_runs, 0u);
+        } else if (total_bytes > budget / 2) {
+          // The hit set overflows the run share, so the merge must have
+          // spilled — and still respected the budget.
+          EXPECT_GT(summary.spilled_runs, 0u);
+          EXPECT_GT(summary.spill_bytes, 0u);
+          EXPECT_EQ(sink.stats.spilled_runs, summary.spilled_runs);
+          EXPECT_EQ(sink.stats.spill_bytes, summary.spill_bytes);
+          // Precondition for the strict bound (fails loudly, not
+          // silently, if the generator or slicing ever shifts): every
+          // run fits the run share, so retained + handoff <= budget.
+          ASSERT_LE(largest_group_bytes, budget / 2);
+          EXPECT_LE(sink.stats.peak_delivery_bytes, budget);
+          EXPECT_GT(sink.batches.size(), 1u);  // bounded batches
+        }
+        EXPECT_GT(sink.stats.peak_delivery_bytes, 0u);
+      }
+    }
+  }
+}
+
+/// Per-group streaming paths (kGroupLocal and single-group kGlobal) now
+/// report their delivery buffering too: the peak is the largest group.
+TEST(RunMergeEngine, StreamingPathsReportPeakDeliveryBytes) {
+  simulate::Rng rng(67);
+  const auto hp = simulate::make_homologous_pair(rng, 400, 10, 8, 0.05);
+  Options options;
+  options.strand = seqio::Strand::kBoth;
+  ExecRequest request = make_request(hp, options);
+  request.ordering = HitOrdering::kGroupLocal;
+  RecordingSink sink;
+  execute(request, sink);
+  ASSERT_TRUE(sink.have_stats);
+  ASSERT_GT(sink.all.size(), 0u);
+  EXPECT_EQ(sink.stats.spilled_runs, 0u);
+  // The streamed peak is exactly the largest delivered group.
+  std::size_t largest = 0;
+  for (const std::size_t n : sink.batch_sizes) {
+    largest = std::max(largest, n * sizeof(align::GappedAlignment));
+  }
+  EXPECT_EQ(sink.stats.peak_delivery_bytes, largest);
+  EXPECT_GT(sink.stats.peak_delivery_bytes, 0u);
 }
 
 TEST(Engine, EmptyBank2YieldsEmptyResult) {
