@@ -66,6 +66,40 @@ Session::Session(store::IndexStore store, Options options)
   init_pool();
 }
 
+// Hand-written moves because std::atomic is not movable; moving a
+// Session with queries in flight is the caller's bug (documented).
+Session::Session(Session&& other) noexcept
+    : options_(std::move(other.options_)),
+      karlin_(other.karlin_),
+      store_(std::move(other.store_)),
+      bank_(std::move(other.bank_)),
+      index_(std::move(other.index_)),
+      idx1_(other.idx1_),
+      pool_(std::move(other.pool_)),
+      builds_(other.builds_),
+      build_seconds_(other.build_seconds_),
+      searches_(other.searches_.load(std::memory_order_relaxed)) {
+  other.idx1_ = nullptr;
+}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    options_ = std::move(other.options_);
+    karlin_ = other.karlin_;
+    store_ = std::move(other.store_);
+    bank_ = std::move(other.bank_);
+    index_ = std::move(other.index_);
+    idx1_ = other.idx1_;
+    pool_ = std::move(other.pool_);
+    builds_ = other.builds_;
+    build_seconds_ = other.build_seconds_;
+    searches_.store(other.searches_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    other.idx1_ = nullptr;
+  }
+  return *this;
+}
+
 Session Session::open(const std::string& path, Options options) {
   if (has_suffix(path, ".scix")) {
     return Session(store::load_index(path), std::move(options));
@@ -88,7 +122,8 @@ const seqio::SequenceBank& Session::reference() const {
 }
 
 SearchOutcome Session::search(const seqio::SequenceBank& bank2,
-                              HitSink& sink, const SearchLimits& limits) {
+                              HitSink& sink,
+                              const SearchLimits& limits) const {
   core::exec::ExecRequest request;
   request.bank1 = &reference();
   request.prebuilt1 = idx1_;
@@ -121,12 +156,14 @@ SearchOutcome Session::search(const seqio::SequenceBank& bank2,
     request.slices = core::plan_budget_slices(bank1_bytes, bank2, copt);
   }
 
-  // Count (and charge the one-time build to) successful queries only: a
-  // throwing execute must not consume the first-query accounting.
-  const bool first_query = searches_ == 0;
   const core::exec::ExecSummary summary =
       core::exec::execute(request, sink);
-  ++searches_;
+  // Count (and charge the one-time build to) successful queries only: a
+  // throwing execute must not consume the first-query accounting.  The
+  // atomic fetch_add makes exactly one concurrent caller the "first"
+  // query even when several race the initial search.
+  const bool first_query =
+      searches_.fetch_add(1, std::memory_order_relaxed) == 0;
 
   SearchOutcome outcome;
   outcome.stats = summary.stats;
@@ -143,7 +180,7 @@ SearchOutcome Session::search(const seqio::SequenceBank& bank2,
 }
 
 core::Result Session::search_collect(const seqio::SequenceBank& bank2,
-                                     const SearchLimits& limits) {
+                                     const SearchLimits& limits) const {
   Collector collector;
   const SearchOutcome outcome = search(bank2, collector, limits);
   core::Result result = collector.take();

@@ -18,11 +18,18 @@
 // memory budget, strand selection, and delivery ordering vary per query
 // via SearchLimits without touching the resident index.
 //
-// A Session is movable but not copyable, and a single Session must not
-// run concurrent search() calls (queries reuse one worker pool); use one
-// Session per server thread, or serialize access.
+// Thread safety: after construction a Session is immutable — the
+// prepared reference, its index, the validated options, and the Karlin
+// parameters are never written again — and search() is const.  Any
+// number of threads may call search() on one shared Session
+// concurrently (each query's mutable state is local to the call, and
+// the shared worker pool hands every caller its own completion batch);
+// this is exactly how the scorisd daemon serves parallel clients over
+// one resident index.  A Session is movable but not copyable; moving it
+// while queries are in flight is (unsurprisingly) not safe.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -101,21 +108,24 @@ class Session {
   [[nodiscard]] static Session open(const std::string& path,
                                     Options options = {});
 
-  Session(Session&&) noexcept = default;
-  Session& operator=(Session&&) noexcept = default;
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   /// Compare the resident reference (query side, m8 qseqid) against
   /// `bank2`, streaming alignments into `sink`.  Reuses the prepared
-  /// index and worker pool; never re-indexes the reference.
+  /// index and worker pool; never re-indexes the reference.  const and
+  /// safe to call from any number of threads concurrently (see the
+  /// header comment); each call's search state is call-local.
   SearchOutcome search(const seqio::SequenceBank& bank2, HitSink& sink,
-                       const SearchLimits& limits = {});
+                       const SearchLimits& limits = {}) const;
 
   /// Convenience: search into a Collector and return the historical
   /// whole-result vector (Pipeline::run semantics).
-  [[nodiscard]] core::Result search_collect(const seqio::SequenceBank& bank2,
-                                            const SearchLimits& limits = {});
+  [[nodiscard]] core::Result search_collect(
+      const seqio::SequenceBank& bank2,
+      const SearchLimits& limits = {}) const;
 
   [[nodiscard]] const seqio::SequenceBank& reference() const;
   [[nodiscard]] const index::BankIndex& reference_index() const {
@@ -131,12 +141,16 @@ class Session {
   [[nodiscard]] double reference_build_seconds() const {
     return build_seconds_;
   }
-  /// Queries served so far.
-  [[nodiscard]] std::size_t searches() const { return searches_; }
+  /// Queries served so far (successful search() calls, any thread).
+  [[nodiscard]] std::size_t searches() const {
+    return searches_.load(std::memory_order_relaxed);
+  }
 
  private:
   void init_pool();
 
+  // Everything below except `searches_` is written during construction
+  // only; search() treats it as immutable shared state.
   Options options_;
   stats::KarlinParams karlin_;
   std::unique_ptr<store::IndexStore> store_;    // .scix-backed sessions
@@ -146,7 +160,10 @@ class Session {
   std::unique_ptr<util::ThreadPool> pool_;      // threads > 1 only
   std::size_t builds_ = 0;
   double build_seconds_ = 0.0;
-  std::size_t searches_ = 0;
+  /// Successful queries; the one whose fetch_add returns 0 is charged
+  /// the one-time reference build.  Atomic so concurrent search() calls
+  /// race neither the counter nor the charge.
+  mutable std::atomic<std::size_t> searches_{0};
 };
 
 }  // namespace scoris

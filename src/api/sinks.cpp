@@ -14,6 +14,12 @@ void M8Writer::on_group(std::span<const align::GappedAlignment> hits,
     *os_ << compare::format_m8(compare::to_m8(a, *batch.bank1, *batch.bank2))
          << '\n';
   }
+  // A full disk or closed pipe puts the stream in a failed state without
+  // throwing; silently dropping the rest of the run would hand the caller
+  // a truncated m8 file and exit code 0.  Fail the query instead.
+  if (!*os_) {
+    throw SinkError("m8 output stream failed (disk full or closed pipe?)");
+  }
   written_ += hits.size();
 }
 

@@ -11,9 +11,16 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <csignal>
+#include <sstream>
+
 #include "api/session.hpp"
 #include "api/sinks.hpp"
 #include "core/options.hpp"
+#include "daemon/server.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
 #include "seqio/fasta.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "seqio/serialize.hpp"
@@ -53,6 +60,24 @@ const std::vector<std::string>& known_search_flags() {
 const std::vector<std::string>& known_index_flags() {
   static const std::vector<std::string> kKnown = {
       "bank", "out", "w", "dust", "no-dust", "stats", "help",
+  };
+  return kKnown;
+}
+
+const std::vector<std::string>& known_serve_flags() {
+  static const std::vector<std::string> kKnown = {
+      "index",   "listen", "max-clients", "backlog",
+      "w",       "threads", "strand",     "evalue",
+      "dust",    "no-dust", "asymmetric", "s1",
+      "shards",  "schedule", "memory-budget-mb",
+      "delivery-budget-kb", "tmp-dir",    "help",
+  };
+  return kKnown;
+}
+
+const std::vector<std::string>& known_query_flags() {
+  static const std::vector<std::string> kKnown = {
+      "connect", "bank2", "out", "strand", "stats", "help",
   };
   return kKnown;
 }
@@ -344,6 +369,14 @@ int run_compare(const CliConfig& config, std::ostream& out,
     const SearchOutcome outcome = session.search(bank2, writer, limits);
     if (!flush_sink(config, *sink, err)) return kRuntimeError;
     if (config.stats) print_outcome_stats(err, config, outcome);
+  } catch (const SinkError& e) {
+    // Output delivery failed (disk full, downstream pipe closed): the
+    // pipeline itself was fine, so say what actually went wrong instead
+    // of the generic pipeline diagnostic — and still exit 1, never 0
+    // with truncated output.
+    discard_partial_output(config, out_file);
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
   } catch (const std::exception& e) {
     discard_partial_output(config, out_file);
     err << "error: pipeline failed: " << e.what() << '\n';
@@ -379,6 +412,10 @@ int run_search(const CliConfig& config, std::ostream& out,
     const SearchOutcome outcome = session->search(bank2, writer, limits);
     if (!flush_sink(config, *sink, err)) return kRuntimeError;
     if (config.stats) print_outcome_stats(err, config, outcome);
+  } catch (const SinkError& e) {
+    discard_partial_output(config, out_file);
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
   } catch (const std::exception& e) {
     discard_partial_output(config, out_file);
     err << "error: pipeline failed: " << e.what() << '\n';
@@ -416,6 +453,153 @@ int run_index(const IndexCliConfig& config, std::ostream& err) {
   return kOk;
 }
 
+/// The serving daemon, reachable from the SIGINT/SIGTERM handlers.
+/// Server::request_stop is async-signal-safe (atomic store + write(2)),
+/// so the handler body is too.
+std::atomic<daemon::Server*> g_serving{nullptr};
+
+extern "C" void serve_signal_handler(int /*signo*/) {
+  if (daemon::Server* server = g_serving.load(std::memory_order_acquire)) {
+    server->request_stop();
+  }
+}
+
+/// Scoped SIGINT/SIGTERM -> request_stop installation around serve().
+class ServeSignalScope {
+ public:
+  explicit ServeSignalScope(daemon::Server& server) {
+    g_serving.store(&server, std::memory_order_release);
+    struct sigaction action {};
+    action.sa_handler = &serve_signal_handler;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ServeSignalScope() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    g_serving.store(nullptr, std::memory_order_release);
+  }
+  ServeSignalScope(const ServeSignalScope&) = delete;
+  ServeSignalScope& operator=(const ServeSignalScope&) = delete;
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+int run_serve(const ServeCliConfig& config, std::ostream& err) {
+  std::optional<Session> session;
+  try {
+    session.emplace(
+        Session::open(config.search.index_path, config.search.options));
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  daemon::ServerConfig server_config;
+  server_config.endpoint = config.endpoint;
+  server_config.backlog = config.backlog;
+  server_config.max_clients = config.max_clients;
+  server_config.base_limits.memory_budget_bytes =
+      static_cast<std::size_t>(config.search.memory_budget_mb) << 20;
+
+  try {
+    daemon::Server server(*session, server_config);
+    server.bind();
+    // The ready line CI and tests wait for — flushed before the loop
+    // blocks, and carrying the resolved endpoint (real port for TCP
+    // port-0 binds).
+    err << "scoris serve: listening on " << net::to_string(server.endpoint())
+        << '\n';
+    err.flush();
+    {
+      ServeSignalScope signals(server);
+      server.serve();
+    }
+    const daemon::ServerCounters counters = server.counters();
+    err << "scoris serve: shut down after " << counters.served
+        << " queries (" << counters.accepted << " connections, "
+        << counters.rejected << " refused, " << counters.failed
+        << " failed)\n";
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+  return kOk;
+}
+
+int run_query(const QueryCliConfig& config, std::ostream& out,
+              std::ostream& err) {
+  // Re-serialize through the bank loader so .scob inputs work and a
+  // malformed FASTA fails here, with a local diagnostic, rather than as
+  // a server-side ERR.
+  std::string fasta;
+  try {
+    const seqio::SequenceBank bank2 = load_bank(config.bank2_path);
+    std::ostringstream text;
+    seqio::write_fasta(text, bank2);
+    fasta = text.str();
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  net::QueryStrand strand = net::QueryStrand::kDefault;
+  if (config.strand == "plus") strand = net::QueryStrand::kPlus;
+  else if (config.strand == "minus") strand = net::QueryStrand::kMinus;
+  else if (config.strand == "both") strand = net::QueryStrand::kBoth;
+
+  std::ofstream out_file;
+  std::ostream* sink = &out;
+  if (!config.out_path.empty()) {
+    out_file.open(config.out_path);
+    if (!out_file) {
+      err << "error: cannot create " << config.out_path << '\n';
+      return kRuntimeError;
+    }
+    sink = &out_file;
+  }
+
+  try {
+    net::QueryClient client = net::QueryClient::connect(config.endpoint);
+    if (fasta.size() > client.max_query_bytes()) {
+      err << "error: query is " << fasta.size()
+          << " bytes; the server accepts at most " << client.max_query_bytes()
+          << '\n';
+      return kRuntimeError;
+    }
+    const net::QueryResult result =
+        client.query(fasta, strand, [&](std::string_view rows) {
+          sink->write(rows.data(),
+                      static_cast<std::streamsize>(rows.size()));
+          if (!*sink) {
+            throw SinkError("m8 output stream failed (disk full?)");
+          }
+        });
+    if (!result.ok) {
+      err << "error: server: " << result.error << '\n';
+      return kRuntimeError;
+    }
+    sink->flush();
+    if (!*sink) {
+      err << "error: writing m8 output"
+          << (config.out_path.empty() ? "" : " to " + config.out_path)
+          << " failed\n";
+      return kRuntimeError;
+    }
+    if (config.stats) {
+      err << "scoris query: " << result.alignments << " alignments, "
+          << result.row_bytes << " m8 bytes\n";
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+  return kOk;
+}
+
 }  // namespace
 
 void print_usage(std::ostream& os, const std::string& program) {
@@ -425,6 +609,8 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "       " << program << " index --bank <ref.fa> --out <ref.scix>\n"
      << "       " << program
      << " search --index <ref.scix> --bank2 <b.fa> [options]\n"
+     << "       " << program << " serve --index <ref.scix> --listen <addr>\n"
+     << "       " << program << " query --connect <addr> --bank2 <b.fa>\n"
      << "\n"
      << "Compare two DNA banks with the ORIS pipeline and write BLAST -m 8\n"
      << "tabular output. Banks are FASTA files (or binary .scob banks);\n"
@@ -511,6 +697,51 @@ void print_search_usage(std::ostream& os, const std::string& program) {
      << "  --tmp-dir DIR   directory for spill-run temp files (default:\n"
      << "                  the system temp directory)\n"
      << "  --stats         print per-step statistics to stderr\n"
+     << "  --help          show this message and exit\n";
+}
+
+void print_serve_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program
+     << " serve --index <ref.scix> --listen <addr> [options]\n"
+     << "\n"
+     << "Run the scorisd daemon: prepare the reference once, then answer\n"
+     << "FASTA queries from concurrent network clients over one shared\n"
+     << "immutable session (see docs/API.md for the wire protocol).\n"
+     << "Prints `listening on <addr>` to stderr when ready; SIGINT or\n"
+     << "SIGTERM drains in-flight queries and exits 0.\n"
+     << "\n"
+     << "options:\n"
+     << "  --index FILE    reference: .scix artifact, .scob bank, or FASTA\n"
+     << "  --listen ADDR   host:port (port 0 = ephemeral, real port in the\n"
+     << "                  ready line) or unix:/path/to.sock\n"
+     << "  --max-clients N concurrent admitted connections (default 4);\n"
+     << "                  excess connections get a BUSY frame\n"
+     << "  --backlog N     kernel accept-queue bound (default 16)\n"
+     << "  --threads N     worker threads shared by all queries (default 1)\n"
+     << "  --w / --strand / --evalue / --dust / --no-dust / --asymmetric /\n"
+     << "  --s1 / --shards / --schedule   session options, as in `"
+     << program << " search`\n"
+     << "  --memory-budget-mb N / --delivery-budget-kb N / --tmp-dir DIR\n"
+     << "                  per-query memory discipline, as in `" << program
+     << " search`\n"
+     << "  --help          show this message and exit\n";
+}
+
+void print_query_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program
+     << " query --connect <addr> --bank2 <b.fa> [options]\n"
+     << "\n"
+     << "Send one bank to a running `" << program
+     << " serve` daemon and stream the\n"
+     << "m8 result to stdout (or --out). Exits 1 if the server is busy,\n"
+     << "unreachable, or reports a query error.\n"
+     << "\n"
+     << "options:\n"
+     << "  --connect ADDR  host:port or unix:/path, as given to --listen\n"
+     << "  --bank2 FILE    subject-side bank (FASTA or .scob)\n"
+     << "  --out FILE      write m8 output to FILE (default: stdout)\n"
+     << "  --strand S      plus, minus, or both (default: the server's)\n"
+     << "  --stats         print the result summary to stderr\n"
      << "  --help          show this message and exit\n";
 }
 
@@ -627,8 +858,93 @@ bool parse_index_cli(int argc, const char* const* argv,
   return true;
 }
 
+bool parse_serve_cli(int argc, const char* const* argv,
+                     ServeCliConfig& config, std::ostream& err) {
+  const util::Args args = util::Args::parse(argc, argv);
+
+  if (!reject_unknown_flags(args, known_serve_flags(), err)) return false;
+  for (const char* name : {"asymmetric", "dust", "no-dust", "help"}) {
+    if (!check_boolean_flag(args, name, err)) return false;
+  }
+
+  config.help = args.get_flag("help");
+  if (config.help) return true;
+
+  if (!args.positional().empty()) {
+    err << "error: serve takes no positional arguments, got '"
+        << args.positional()[0] << "'\n";
+    return false;
+  }
+  config.search.index_path = args.get("index");
+  const std::string listen = args.get("listen");
+  if (config.search.index_path.empty() || listen.empty()) {
+    err << "error: both --index and --listen are required\n";
+    return false;
+  }
+  try {
+    config.endpoint = net::parse_endpoint(listen);
+  } catch (const net::NetError& e) {
+    err << "error: " << e.what() << '\n';
+    return false;
+  }
+  std::size_t max_clients = config.max_clients;
+  if (!parse_size_flag(args, "max-clients", 1, 1 << 10, max_clients, err)) {
+    return false;
+  }
+  config.max_clients = max_clients;
+  if (!parse_int_flag(args, "backlog", 1, 1 << 12, config.backlog, err)) {
+    return false;
+  }
+  return parse_search_options(args, config.search, err);
+}
+
+bool parse_query_cli(int argc, const char* const* argv,
+                     QueryCliConfig& config, std::ostream& err) {
+  const util::Args args = util::Args::parse(argc, argv);
+
+  if (!reject_unknown_flags(args, known_query_flags(), err)) return false;
+  for (const char* name : {"stats", "help"}) {
+    if (!check_boolean_flag(args, name, err)) return false;
+  }
+
+  config.help = args.get_flag("help");
+  if (config.help) return true;
+
+  if (!args.positional().empty()) {
+    err << "error: query takes no positional arguments, got '"
+        << args.positional()[0] << "'\n";
+    return false;
+  }
+  const std::string connect = args.get("connect");
+  config.bank2_path = args.get("bank2");
+  if (connect.empty() || config.bank2_path.empty()) {
+    err << "error: both --connect and --bank2 are required\n";
+    return false;
+  }
+  try {
+    config.endpoint = net::parse_endpoint(connect);
+  } catch (const net::NetError& e) {
+    err << "error: " << e.what() << '\n';
+    return false;
+  }
+  config.out_path = args.get("out");
+  config.strand = args.get("strand");
+  if (!config.strand.empty() && config.strand != "plus" &&
+      config.strand != "minus" && config.strand != "both") {
+    err << "error: --strand must be plus, minus, or both (got '"
+        << config.strand << "')\n";
+    return false;
+  }
+  config.stats = args.get_flag("stats");
+  return true;
+}
+
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
+  // Every entry form may write to a pipe the reader has closed (stdout
+  // into `head`, a query client that died); fail those writes with
+  // EPIPE -> SinkError -> exit 1 instead of dying on SIGPIPE.
+  net::ignore_sigpipe();
   const std::string program = argc > 0 ? argv[0] : "scoris";
   const std::string subcommand = argc > 1 ? argv[1] : "";
 
@@ -656,6 +972,32 @@ int run(int argc, const char* const* argv, std::ostream& out,
       return kOk;
     }
     return run_search(config, out, err);
+  }
+
+  if (subcommand == "serve") {
+    ServeCliConfig config;
+    if (!parse_serve_cli(argc - 1, argv + 1, config, err)) {
+      print_serve_usage(err, program);
+      return kUsage;
+    }
+    if (config.help) {
+      print_serve_usage(out, program);
+      return kOk;
+    }
+    return run_serve(config, err);
+  }
+
+  if (subcommand == "query") {
+    QueryCliConfig config;
+    if (!parse_query_cli(argc - 1, argv + 1, config, err)) {
+      print_query_usage(err, program);
+      return kUsage;
+    }
+    if (config.help) {
+      print_query_usage(out, program);
+      return kOk;
+    }
+    return run_query(config, out, err);
   }
 
   CliConfig config;

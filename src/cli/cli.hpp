@@ -1,9 +1,11 @@
 // The `scoris` command-line driver.
 //
-// Three entry forms share one binary:
+// Five entry forms share one binary:
 //   scoris --bank1 a.fa --bank2 b.fa [options]   # compare (original form)
 //   scoris index --bank ref.fa --out ref.scix    # prebuild a .scix artifact
 //   scoris search --index ref.scix --bank2 b.fa  # compare against artifact
+//   scoris serve --index ref.scix --listen ADDR  # scorisd network daemon
+//   scoris query --connect ADDR --bank2 b.fa     # query a running daemon
 //
 // Wires util::Args -> FASTA/.scob/.scix loading -> scoris::Session ->
 // streaming M8Writer output.  Option values are validated by
@@ -18,6 +20,7 @@
 #include <string>
 
 #include "core/options.hpp"
+#include "net/socket.hpp"
 
 namespace scoris::cli {
 
@@ -78,6 +81,28 @@ struct IndexCliConfig {
   bool help = false;
 };
 
+/// What `scoris serve` parsed from argv.  The session surface (reference
+/// path, W, threads, spill budget, ...) rides in `search` — the same
+/// fields, flags, and validation as `scoris search` — so a serve
+/// configuration is exactly a search configuration plus daemon knobs.
+struct ServeCliConfig {
+  CliConfig search;
+  net::Endpoint endpoint;       ///< parsed --listen
+  std::size_t max_clients = 4;  ///< concurrent admitted connections
+  int backlog = 16;             ///< kernel accept-queue bound
+  bool help = false;
+};
+
+/// What `scoris query` parsed from argv.
+struct QueryCliConfig {
+  net::Endpoint endpoint;  ///< parsed --connect
+  std::string bank2_path;
+  std::string out_path;    ///< empty = stdout
+  std::string strand;      ///< empty = server default; plus|minus|both
+  bool stats = false;      ///< print the DONE summary to stderr
+  bool help = false;
+};
+
 /// Parse argv into a CliConfig (the flat compare form). On error, writes a
 /// one-line diagnostic to `err` and returns false. `--bank1/--bank2` may
 /// also be given as the two positional arguments.
@@ -92,6 +117,14 @@ bool parse_search_cli(int argc, const char* const* argv, CliConfig& config,
 bool parse_index_cli(int argc, const char* const* argv,
                      IndexCliConfig& config, std::ostream& err);
 
+/// Parse the `scoris serve` argv (argv[0] is the subcommand token).
+bool parse_serve_cli(int argc, const char* const* argv,
+                     ServeCliConfig& config, std::ostream& err);
+
+/// Parse the `scoris query` argv (argv[0] is the subcommand token).
+bool parse_query_cli(int argc, const char* const* argv,
+                     QueryCliConfig& config, std::ostream& err);
+
 /// Full driver: dispatch on the `index` / `search` subcommand (flat
 /// compare otherwise), load inputs, run, write m8 to `out` (or to
 /// config.out_path when given). Diagnostics and --stats go to `err`.
@@ -103,5 +136,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
 void print_usage(std::ostream& os, const std::string& program);
 void print_index_usage(std::ostream& os, const std::string& program);
 void print_search_usage(std::ostream& os, const std::string& program);
+void print_serve_usage(std::ostream& os, const std::string& program);
+void print_query_usage(std::ostream& os, const std::string& program);
 
 }  // namespace scoris::cli

@@ -161,13 +161,24 @@ void RunMerger::add_run(std::vector<GappedAlignment>&& run) {
   }
   Run spilled;
   spilled.path = next_spill_path();
-  std::ofstream os(spilled.path, std::ios::binary);
-  if (!os) {
-    throw std::runtime_error("spill run: cannot create " + spilled.path);
+  try {
+    std::ofstream os(spilled.path, std::ios::binary);
+    if (!os) {
+      throw std::runtime_error("spill run: cannot create " + spilled.path);
+    }
+    stats_.spill_bytes += write_spill_run(os, run, block_elems_);
+    os.close();
+    if (!os) {
+      throw std::runtime_error("spill run: write failed: " + spilled.path);
+    }
+  } catch (...) {
+    // A half-written run (full disk) is unreadable; remove it now rather
+    // than leaving it for the destructor's directory sweep, since the
+    // caller may catch the error and keep the merger alive.
+    std::error_code ec;
+    std::filesystem::remove(spilled.path, ec);
+    throw;
   }
-  stats_.spill_bytes += write_spill_run(os, run, block_elems_);
-  os.close();
-  if (!os) throw std::runtime_error("spill run: write failed: " + spilled.path);
   ++stats_.spilled_runs;
   runs_.push_back(std::move(spilled));
 }
@@ -188,7 +199,11 @@ std::size_t RunMerger::merge(HitSink& sink, HitBatch batch) {
 
   // Refill `run`'s head block (or report it exhausted).  In-memory runs
   // release their buffer the moment the cursor passes the end, so the
-  // retained total shrinks as the merge drains.
+  // retained total shrinks as the merge drains; spilled runs delete
+  // their temp file the moment the last block is consumed, so a
+  // long-lived process reclaims spill disk per run rather than holding
+  // every file until the merger is destroyed (the destructor still
+  // removes the whole directory, covering aborted merges).
   const auto ensure = [&](std::size_t r) -> bool {
     Run& run = runs_[r];
     if (run.pos < run.mem.size()) return true;
@@ -198,7 +213,15 @@ std::size_t RunMerger::merge(HitSink& sink, HitBatch batch) {
       run.mem = spill[r]->next_block(is);
       run.pos = 0;
       head_bytes_ += run.mem.size() * kAlignBytes;
-      return !run.mem.empty();
+      if (run.mem.empty()) {
+        is.close();
+        std::error_code ec;
+        std::filesystem::remove(run.path, ec);
+        run.path.clear();
+        spill[r].reset();
+        return false;
+      }
+      return true;
     }
     retained_bytes_ -= run.mem.size() * kAlignBytes;
     std::vector<GappedAlignment>().swap(run.mem);

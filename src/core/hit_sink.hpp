@@ -24,6 +24,8 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "align/records.hpp"
 
@@ -57,6 +59,17 @@ enum class HitOrdering {
   /// step-4 order).  Still invariant across threads/shards/schedule —
   /// the plan fixes group order.
   kGroupLocal,
+};
+
+/// A sink failed to deliver a batch (disk full, closed pipe, a network
+/// peer that hung up).  Sinks throw this from on_group so the engine
+/// unwinds the *query* — the run's RAII state (spill directories, worker
+/// batches) is reclaimed, and the caller can tell a delivery failure
+/// (CLI: exit 1 with a diagnostic; daemon: abort only that query) apart
+/// from a pipeline bug.
+class SinkError : public std::runtime_error {
+ public:
+  explicit SinkError(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// Metadata accompanying one on_group delivery.  The bank pointers stay

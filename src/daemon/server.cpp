@@ -1,0 +1,265 @@
+#include "daemon/server.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "compare/m8.hpp"
+#include "seqio/fasta.hpp"
+
+namespace scoris::daemon {
+
+void SocketM8Sink::on_group(std::span<const align::GappedAlignment> hits,
+                            const HitBatch& batch) {
+  // The same conversion path as M8Writer, so a networked query is
+  // byte-identical to a local `scoris search` over the same inputs.
+  for (const align::GappedAlignment& a : hits) {
+    const std::string line =
+        compare::format_m8(compare::to_m8(a, *batch.bank1, *batch.bank2));
+    buffer_ += line;
+    buffer_ += '\n';
+    row_bytes_ += line.size() + 1;
+    ++rows_;
+    if (buffer_.size() >= chunk_bytes_) {
+      // send_all blocks while the client's receive window is full: the
+      // engine's delivery thread stalls here, which is exactly the
+      // per-query backpressure that keeps a slow client from ballooning
+      // the daemon's memory.  A vanished client throws NetError out
+      // through the engine, unwinding (and spill-cleaning) this query
+      // only.
+      net::write_frame(*sock_, net::kRowsTag, std::string_view(buffer_));
+      buffer_.clear();
+    }
+  }
+}
+
+void SocketM8Sink::flush() {
+  if (!buffer_.empty()) {
+    net::write_frame(*sock_, net::kRowsTag, std::string_view(buffer_));
+    buffer_.clear();
+  }
+}
+
+struct Server::Shared {
+  const Session* session = nullptr;
+  ServerConfig config;
+  net::WakePipe wake;
+  std::atomic<bool> stopping{false};
+  std::atomic<std::size_t> active{0};
+
+  // Drain coordination and counters.  `active` is decremented under the
+  // mutex so the drain wait cannot miss the final notify.
+  std::mutex mu;
+  std::condition_variable cv;
+  ServerCounters counters;
+
+  bool admit() {
+    std::size_t current = active.load(std::memory_order_relaxed);
+    while (current < config.max_clients) {
+      if (active.compare_exchange_weak(current, current + 1,
+                                       std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(mu);
+      active.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    cv.notify_all();
+  }
+
+  void count(std::uint64_t ServerCounters::* field) {
+    std::lock_guard lock(mu);
+    counters.*field += 1;
+  }
+};
+
+Server::Server(const Session& session, ServerConfig config)
+    : shared_(std::make_shared<Shared>()) {
+  shared_->session = &session;
+  shared_->config = std::move(config);
+  net::ignore_sigpipe();
+}
+
+Server::~Server() {
+  // Detached stragglers own shared_ and exit on the wake signal; nothing
+  // here blocks on them.
+  shared_->stopping.store(true, std::memory_order_release);
+  shared_->wake.signal_stop();
+  if (bound_ &&
+      shared_->config.endpoint.kind == net::Endpoint::Kind::kUnix) {
+    std::error_code ec;
+    std::filesystem::remove(shared_->config.endpoint.path, ec);
+  }
+}
+
+void Server::bind() {
+  if (bound_) return;
+  listener_ =
+      net::listen_endpoint(shared_->config.endpoint, shared_->config.backlog);
+  bound_ = true;
+}
+
+const net::Endpoint& Server::endpoint() const {
+  return shared_->config.endpoint;
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard lock(shared_->mu);
+  return shared_->counters;
+}
+
+void Server::request_stop() {
+  // No locks, no allocation: stores + one write(2).  Callable from a
+  // signal handler.
+  shared_->stopping.store(true, std::memory_order_release);
+  shared_->wake.signal_stop();
+}
+
+void Server::serve() {
+  bind();
+  Shared& shared = *shared_;
+  while (!shared.stopping.load(std::memory_order_acquire)) {
+    const int ready = net::wait_readable(listener_.fd(),
+                                         shared.wake.read_fd(), -1);
+    if ((ready & 2) != 0) break;  // wake pipe: shutdown requested
+    if ((ready & 1) == 0) continue;
+    net::Socket client = net::accept_connection(listener_);
+    if (!client.valid()) continue;
+    if (!shared.admit()) {
+      shared.count(&ServerCounters::rejected);
+      try {
+        net::PayloadWriter busy;
+        busy.put_string("all " +
+                        std::to_string(shared.config.max_clients) +
+                        " client slots are in use, try again later");
+        const std::vector<std::uint8_t> payload = busy.take();
+        net::write_frame(client, net::kBusyTag, payload);
+      } catch (const net::NetError&) {
+        // The refused client vanished first; nothing to tell it.
+      }
+      continue;
+    }
+    shared.count(&ServerCounters::accepted);
+    std::thread(&Server::handle_client, shared_, std::move(client))
+        .detach();
+  }
+  // Stop accepting, then drain: in-flight queries finish and stream
+  // their DONE; idle handlers see the (never-drained) wake byte and
+  // exit.
+  listener_.close();
+  std::unique_lock lock(shared.mu);
+  shared.cv.wait(lock, [&shared] {
+    return shared.active.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Server::handle_client(std::shared_ptr<Shared> shared,
+                           net::Socket client) {
+  // The admission slot is held for the connection's whole lifetime and
+  // released on every exit path, including throws.
+  struct SlotGuard {
+    Shared& shared;
+    ~SlotGuard() { shared.release(); }
+  } guard{*shared};
+
+  try {
+    net::PayloadWriter hello;
+    hello.put_u32(net::kProtocolVersion);
+    hello.put_u64(shared->config.max_query_bytes);
+    const std::vector<std::uint8_t> payload = hello.take();
+    net::write_frame(client, net::kHelloTag, payload);
+
+    net::Frame frame;
+    for (;;) {
+      // Between queries the handler parks on poll so an idle connection
+      // costs no CPU and shutdown does not have to wait for it.
+      const int ready = net::wait_readable(client.fd(),
+                                           shared->wake.read_fd(), -1);
+      if ((ready & 2) != 0 &&
+          shared->stopping.load(std::memory_order_acquire)) {
+        return;  // idle at shutdown: close without ceremony
+      }
+      if ((ready & 1) == 0) continue;
+      if (!net::read_frame(client, frame)) return;  // client hung up
+      if (frame.tag != net::kQueryTag) {
+        throw net::NetError("expected QRY, got '" +
+                            net::tag_name(frame.tag) + "'");
+      }
+      serve_query(*shared, client, frame);
+    }
+  } catch (const std::exception&) {
+    // Transport died or the client broke protocol: this connection is
+    // over, every other client is untouched.
+    shared->count(&ServerCounters::failed);
+  }
+}
+
+void Server::serve_query(Shared& shared, net::Socket& client,
+                         const net::Frame& request) {
+  // Per-query failures (bad FASTA, oversized payload, engine errors)
+  // produce an ERR frame and leave the connection serving; only a dead
+  // transport (NetError from a send) propagates to handle_client.
+  std::string error;
+  try {
+    if (request.payload.size() > shared.config.max_query_bytes) {
+      throw std::runtime_error(
+          "query of " + std::to_string(request.payload.size()) +
+          " bytes exceeds the server limit of " +
+          std::to_string(shared.config.max_query_bytes));
+    }
+    net::PayloadReader reader(request.payload, "QRY");
+    const std::uint8_t strand_byte = reader.get_u8();
+    const seqio::SequenceBank bank2 =
+        seqio::read_fasta_string(reader.rest(), "query");
+
+    SearchLimits limits = shared.config.base_limits;
+    switch (static_cast<net::QueryStrand>(strand_byte)) {
+      case net::QueryStrand::kDefault:
+        break;
+      case net::QueryStrand::kPlus:
+        limits.strand = seqio::Strand::kPlus;
+        break;
+      case net::QueryStrand::kMinus:
+        limits.strand = seqio::Strand::kMinus;
+        break;
+      case net::QueryStrand::kBoth:
+        limits.strand = seqio::Strand::kBoth;
+        break;
+      default:
+        throw std::runtime_error("bad strand byte " +
+                                 std::to_string(strand_byte));
+    }
+
+    SocketM8Sink sink(client, shared.config.chunk_bytes);
+    shared.session->search(bank2, sink, limits);
+    sink.flush();
+
+    net::PayloadWriter done;
+    done.put_u64(sink.rows());
+    done.put_u64(sink.row_bytes());
+    const std::vector<std::uint8_t> payload = done.take();
+    net::write_frame(client, net::kDoneTag, payload);
+    shared.count(&ServerCounters::served);
+    return;
+  } catch (const net::NetError&) {
+    shared.count(&ServerCounters::failed);
+    throw;  // connection-fatal: the handler closes it
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  shared.count(&ServerCounters::failed);
+  net::PayloadWriter err;
+  err.put_string(error);
+  const std::vector<std::uint8_t> payload = err.take();
+  net::write_frame(client, net::kErrorTag, payload);
+}
+
+}  // namespace scoris::daemon

@@ -1,0 +1,79 @@
+#include "net/client.hpp"
+
+namespace scoris::net {
+
+QueryClient QueryClient::connect(const Endpoint& ep) {
+  QueryClient client(connect_endpoint(ep));
+  Frame frame;
+  if (!read_frame(client.sock_, frame)) {
+    throw NetError("connect " + to_string(ep) +
+                   ": server closed the connection before admission");
+  }
+  if (frame.tag == kBusyTag) {
+    PayloadReader reader(frame.payload, "BUSY");
+    throw ServerBusy(reader.get_string());
+  }
+  if (frame.tag != kHelloTag) {
+    throw NetError("connect " + to_string(ep) + ": expected HELO, got '" +
+                   tag_name(frame.tag) + "'");
+  }
+  PayloadReader reader(frame.payload, "HELO");
+  const std::uint32_t version = reader.get_u32();
+  if (version != kProtocolVersion) {
+    throw NetError("server speaks protocol version " +
+                   std::to_string(version) + ", this client speaks " +
+                   std::to_string(kProtocolVersion));
+  }
+  client.max_query_bytes_ = reader.get_u64();
+  return client;
+}
+
+QueryResult QueryClient::query(std::string_view fasta, QueryStrand strand,
+                               const RowsCallback& on_rows) {
+  PayloadWriter qry;
+  qry.put_u8(static_cast<std::uint8_t>(strand));
+  qry.put_bytes(fasta);
+  const std::vector<std::uint8_t> payload = qry.take();
+  write_frame(sock_, kQueryTag, payload);
+
+  QueryResult result;
+  std::uint64_t received = 0;
+  Frame frame;
+  for (;;) {
+    if (!read_frame(sock_, frame)) {
+      throw NetError("server closed the connection mid-query");
+    }
+    if (frame.tag == kRowsTag) {
+      received += frame.payload.size();
+      if (on_rows) {
+        on_rows(std::string_view(
+            reinterpret_cast<const char*>(frame.payload.data()),
+            frame.payload.size()));
+      }
+      continue;
+    }
+    if (frame.tag == kDoneTag) {
+      PayloadReader reader(frame.payload, "DONE");
+      result.ok = true;
+      result.alignments = reader.get_u64();
+      result.row_bytes = reader.get_u64();
+      if (result.row_bytes != received) {
+        throw NetError("server reported " +
+                       std::to_string(result.row_bytes) +
+                       " m8 bytes but " + std::to_string(received) +
+                       " arrived");
+      }
+      return result;
+    }
+    if (frame.tag == kErrorTag) {
+      PayloadReader reader(frame.payload, "ERR");
+      result.ok = false;
+      result.error = reader.get_string();
+      return result;
+    }
+    throw NetError("unexpected frame '" + tag_name(frame.tag) +
+                   "' during a query");
+  }
+}
+
+}  // namespace scoris::net

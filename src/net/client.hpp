@@ -1,0 +1,69 @@
+// Client side of the scorisd protocol (net/frame.hpp).
+//
+// QueryClient::connect dials the daemon, consumes the admission frame
+// (HELO -> connected, BUSY -> ServerBusy), and then serves any number of
+// query() calls on the one connection.  Rows stream through a callback
+// as ROWS frames arrive, so a client never has to hold a whole result
+// in memory — the same bounded-delivery contract the in-process HitSink
+// path makes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace scoris::net {
+
+/// The server refused admission (BUSY frame).  Distinct from NetError so
+/// callers can tell "try again later" from "something broke".
+class ServerBusy : public NetError {
+ public:
+  explicit ServerBusy(const std::string& reason)
+      : NetError("server busy: " + reason) {}
+};
+
+/// Outcome of one query on the connection.
+struct QueryResult {
+  bool ok = false;             ///< DONE received (vs ERR)
+  std::uint64_t alignments = 0;  ///< rows the server produced
+  std::uint64_t row_bytes = 0;   ///< m8 bytes the server sent
+  std::string error;             ///< ERR message when !ok
+};
+
+class QueryClient {
+ public:
+  /// Receives each ROWS payload (raw m8 text) as it arrives.
+  using RowsCallback = std::function<void(std::string_view)>;
+
+  /// Dial and pass admission.  Throws ServerBusy when the daemon refuses
+  /// (max-clients reached) and NetError on transport/protocol failures.
+  [[nodiscard]] static QueryClient connect(const Endpoint& ep);
+
+  /// Run one query: send QRY, stream ROWS payloads into `on_rows`, and
+  /// return the terminal DONE/ERR.  Verifies the DONE byte count against
+  /// what actually arrived, so a dropped ROWS frame cannot masquerade as
+  /// a clean short result.  Throws NetError if the connection dies.
+  QueryResult query(std::string_view fasta, QueryStrand strand,
+                    const RowsCallback& on_rows);
+
+  /// Server-advertised cap on one QRY payload (from HELO).
+  [[nodiscard]] std::uint64_t max_query_bytes() const {
+    return max_query_bytes_;
+  }
+
+  /// Drop the connection without protocol ceremony — the tests use this
+  /// to simulate a client dying mid-stream.
+  void abort() { sock_.close(); }
+
+ private:
+  explicit QueryClient(Socket sock) : sock_(std::move(sock)) {}
+
+  Socket sock_;
+  std::uint64_t max_query_bytes_ = 0;
+};
+
+}  // namespace scoris::net

@@ -20,6 +20,10 @@
 #include "core/chunked.hpp"
 #include "core/options.hpp"
 #include "core/pipeline.hpp"
+#include "daemon/server.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
 #include "seqio/fasta.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "seqio/serialize.hpp"

@@ -1,8 +1,54 @@
 #include "util/threading.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace scoris::util {
+namespace {
+
+/// Per-call completion latch for one batch of parallel work.
+///
+/// Every parallel entry point (spawning or pool-backed) runs its tasks
+/// through one of these: `run` executes the body, capturing the first
+/// exception instead of letting it escape into a worker (which would
+/// std::terminate — fatal for a daemon, and it would leak RAII-managed
+/// state like spill directories); `wait` blocks until *this batch's*
+/// tasks are done and rethrows that exception.  Waiting on the batch
+/// rather than ThreadPool::wait_idle is what makes a shared pool safe
+/// for concurrent submitters: each caller observes only its own tasks.
+class TaskBatch {
+ public:
+  explicit TaskBatch(std::size_t count) : remaining_(count) {}
+
+  void run(const std::function<void()>& body) {
+    std::exception_ptr error;
+    try {
+      body();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // notify_all under the lock: the waiter may destroy the batch the
+    // moment the predicate holds, so the cv must not be touched after
+    // the lock is released.
+    std::lock_guard lock(mu_);
+    if (error && !error_) error_ = error;
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+  std::exception_ptr error_;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
@@ -68,11 +114,14 @@ void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
   const std::size_t step = (span + chunks - 1) / chunks;
 
   ThreadPool pool(threads);
+  TaskBatch batch((span + step - 1) / step);
   for (std::size_t lo = begin; lo < end; lo += step) {
     const std::size_t hi = std::min(end, lo + step);
-    pool.submit([&fn, lo, hi] { fn(lo, hi); });
+    pool.submit([&fn, &batch, lo, hi] {
+      batch.run([&fn, lo, hi] { fn(lo, hi); });
+    });
   }
-  pool.wait_idle();
+  batch.wait();
 }
 
 void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
@@ -88,11 +137,14 @@ void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t chunks =
       std::min(span, std::max<std::size_t>(1, threads * chunks_per_thread));
   const std::size_t step = (span + chunks - 1) / chunks;
+  TaskBatch batch((span + step - 1) / step);
   for (std::size_t lo = begin; lo < end; lo += step) {
     const std::size_t hi = std::min(end, lo + step);
-    pool.submit([&fn, lo, hi] { fn(lo, hi); });
+    pool.submit([&fn, &batch, lo, hi] {
+      batch.run([&fn, lo, hi] { fn(lo, hi); });
+    });
   }
-  pool.wait_idle();
+  batch.wait();
 }
 
 WorkStealingQueue::WorkStealingQueue(std::size_t count, std::size_t workers)
@@ -141,24 +193,29 @@ void run_tasks(std::size_t count, std::size_t threads, Schedule schedule,
 
   std::vector<std::thread> workers;
   workers.reserve(n);
+  TaskBatch batch(n);
   if (schedule == Schedule::kStatic) {
     for (std::size_t w = 0; w < n; ++w) {
-      workers.emplace_back([&fn, w, n, count] {
-        for (std::size_t t = w; t < count; t += n) fn(t);
-      });
-    }
-  } else {
-    WorkStealingQueue queue(count, n);
-    for (std::size_t w = 0; w < n; ++w) {
-      workers.emplace_back([&fn, &queue, w] {
-        std::size_t task = 0;
-        while (queue.pop(w, task)) fn(task);
+      workers.emplace_back([&fn, &batch, w, n, count] {
+        batch.run([&fn, w, n, count] {
+          for (std::size_t t = w; t < count; t += n) fn(t);
+        });
       });
     }
     for (auto& worker : workers) worker.join();
-    return;
+  } else {
+    WorkStealingQueue queue(count, n);
+    for (std::size_t w = 0; w < n; ++w) {
+      workers.emplace_back([&fn, &batch, &queue, w] {
+        batch.run([&fn, &queue, w] {
+          std::size_t task = 0;
+          while (queue.pop(w, task)) fn(task);
+        });
+      });
+    }
+    for (auto& worker : workers) worker.join();
   }
-  for (auto& worker : workers) worker.join();
+  batch.wait();
 }
 
 void run_tasks(ThreadPool& pool, std::size_t count, Schedule schedule,
@@ -170,23 +227,28 @@ void run_tasks(ThreadPool& pool, std::size_t count, Schedule schedule,
     return;
   }
 
+  TaskBatch batch(n);
   if (schedule == Schedule::kStatic) {
     for (std::size_t w = 0; w < n; ++w) {
-      pool.submit([&fn, w, n, count] {
-        for (std::size_t t = w; t < count; t += n) fn(t);
+      pool.submit([&fn, &batch, w, n, count] {
+        batch.run([&fn, w, n, count] {
+          for (std::size_t t = w; t < count; t += n) fn(t);
+        });
       });
     }
-    pool.wait_idle();
+    batch.wait();
     return;
   }
   WorkStealingQueue queue(count, n);
   for (std::size_t w = 0; w < n; ++w) {
-    pool.submit([&fn, &queue, w] {
-      std::size_t task = 0;
-      while (queue.pop(w, task)) fn(task);
+    pool.submit([&fn, &batch, &queue, w] {
+      batch.run([&fn, &queue, w] {
+        std::size_t task = 0;
+        while (queue.pop(w, task)) fn(task);
+      });
     });
   }
-  pool.wait_idle();
+  batch.wait();
 }
 
 }  // namespace scoris::util

@@ -27,8 +27,12 @@ enum class Schedule {
 
 /// Fixed-size pool of worker threads consuming a FIFO of tasks.
 ///
-/// Tasks are `std::function<void()>`; exceptions escaping a task terminate
-/// the program (tasks are expected to capture-and-report their own errors).
+/// Tasks are `std::function<void()>`; exceptions escaping a raw submitted
+/// task terminate the program.  The run_tasks / parallel_chunks overloads
+/// below wrap their tasks in a per-call completion latch that captures the
+/// first exception and rethrows it at the call site instead, so pipeline
+/// errors (bad_alloc, sink failures) unwind to the caller rather than
+/// killing a long-lived server process.
 class ThreadPool {
  public:
   /// Create a pool with `threads` workers. `threads == 0` is clamped to 1.
@@ -62,15 +66,19 @@ class ThreadPool {
 /// approximately `threads * chunks_per_thread` contiguous chunks.
 ///
 /// With `threads <= 1` the call degenerates to a single inline invocation,
-/// so callers need no special single-threaded path.
+/// so callers need no special single-threaded path.  If any chunk throws,
+/// the remaining chunks still run and the first exception is rethrown
+/// here once all of them have finished.
 void parallel_chunks(std::size_t begin, std::size_t end, std::size_t threads,
                      const std::function<void(std::size_t, std::size_t)>& fn,
                      std::size_t chunks_per_thread = 4);
 
 /// Same, on an existing pool instead of spawning one — a long-lived
-/// session amortizes thread creation across queries.  The caller must be
-/// the pool's only submitter until the call returns (it waits for the
-/// pool to go idle).
+/// session amortizes thread creation across queries.  Safe for multiple
+/// threads to call on the same pool concurrently: each call waits on its
+/// own completion latch (not pool idleness), so one caller's batch never
+/// blocks on — or returns before — another's.  Exceptions propagate as in
+/// the spawning overload.
 void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                      const std::function<void(std::size_t, std::size_t)>& fn,
                      std::size_t chunks_per_thread = 4);
@@ -115,14 +123,17 @@ class WorkStealingQueue {
 /// kStealing deals contiguous blocks and lets idle workers steal (see
 /// WorkStealingQueue).  Either way every task runs exactly once, so output
 /// written to per-task slots is schedule- and thread-count-invariant.
-/// With `threads <= 1` tasks run inline in ascending order.
+/// With `threads <= 1` tasks run inline in ascending order.  The first
+/// exception a task throws is rethrown here after every task finished.
 void run_tasks(std::size_t count, std::size_t threads, Schedule schedule,
                const std::function<void(std::size_t)>& fn);
 
 /// Same, on an existing pool (worker count = pool.thread_count()).  Task
 /// assignment and output placement are identical to the spawning
-/// overload, so results stay schedule- and pool-invariant.  The caller
-/// must be the pool's only submitter until the call returns.
+/// overload, so results stay schedule- and pool-invariant.  Like the pool
+/// parallel_chunks overload, this is safe for concurrent callers sharing
+/// one pool (per-call completion latch, not wait_idle), which is what
+/// lets one scoris::Session serve parallel search() calls.
 void run_tasks(ThreadPool& pool, std::size_t count, Schedule schedule,
                const std::function<void(std::size_t)>& fn);
 

@@ -3,11 +3,15 @@
 // arguments, and one true subprocess run of the installed binary.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli.hpp"
@@ -610,5 +614,105 @@ TEST_F(CliTest, SubprocessBinaryRunsEndToEnd) {
   EXPECT_EQ(WEXITSTATUS(bad), 2);
 }
 #endif
+
+// --- serve / query -----------------------------------------------------------
+
+TEST_F(CliTest, ServeUsageErrorsExitTwo) {
+  // Missing required flags.
+  EXPECT_EQ(run_cli({"serve"}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"serve", "--index", bank1_}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"serve", "--listen", "unix:/tmp/x.sock"}).exit_code,
+            kUsage);
+  // Malformed endpoint specs.
+  EXPECT_EQ(run_cli({"serve", "--index", bank1_, "--listen", "nohost"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"serve", "--index", bank1_, "--listen",
+                     "localhost:notaport"})
+                .exit_code,
+            kUsage);
+  // Unknown flags and bad values.
+  EXPECT_EQ(run_cli({"serve", "--index", bank1_, "--listen", "unix:/t.sock",
+                     "--bogus", "1"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"serve", "--index", bank1_, "--listen", "unix:/t.sock",
+                     "--max-clients", "0"})
+                .exit_code,
+            kUsage);
+  const CliResult help = run_cli({"serve", "--help"});
+  EXPECT_EQ(help.exit_code, kOk);
+  EXPECT_NE(help.out.find("--listen"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryUsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli({"query"}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"query", "--connect", "unix:/t.sock"}).exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"query", "--bank2", bank2_}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"query", "--connect", "badspec", "--bank2", bank2_})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"query", "--connect", "unix:/t.sock", "--bank2",
+                     bank2_, "--strand", "sideways"})
+                .exit_code,
+            kUsage);
+  const CliResult help = run_cli({"query", "--help"});
+  EXPECT_EQ(help.exit_code, kOk);
+  EXPECT_NE(help.out.find("--connect"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryAgainstNoServerExitsOne) {
+  const CliResult r = run_cli({"query", "--connect",
+                               "unix:" + dir_ + "no-such-daemon.sock",
+                               "--bank2", bank2_});
+  EXPECT_EQ(r.exit_code, kRuntimeError);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeAndQueryEndToEndOverUnixSocket) {
+  const std::string sock = dir_ + "CliTest_ServeQueryE2E.sock";
+  std::remove(sock.c_str());  // a crashed previous run must not EADDRINUSE us
+
+  CliResult serve_result;
+  std::atomic<bool> serve_done{false};
+  std::thread server([&] {
+    serve_result = run_cli(
+        {"serve", "--index", bank1_, "--listen", "unix:" + sock});
+    serve_done.store(true);
+  });
+
+  // The daemon creates the socket before printing its ready line; retry
+  // until the first query round-trips (or the daemon demonstrably died).
+  CliResult query;
+  bool ready = false;
+  for (int attempt = 0; attempt < 500 && !serve_done.load(); ++attempt) {
+    query = run_cli({"query", "--connect", "unix:" + sock, "--bank2",
+                     bank2_, "--stats"});
+    if (query.exit_code == kOk) {
+      ready = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // SIGTERM (the deployment signal) drains and exits 0.  Raised only
+  // while the serve loop is alive — its handler is installed, so the
+  // default terminate-the-process action cannot fire.
+  if (!serve_done.load()) std::raise(SIGTERM);
+  server.join();
+
+  ASSERT_TRUE(ready) << "daemon never served a query; last: " << query.err
+                     << " / serve: " << serve_result.err;
+  // Networked output is byte-identical to the flat in-process run.
+  const CliResult direct = run_cli({"--bank1", bank1_, "--bank2", bank2_});
+  ASSERT_EQ(direct.exit_code, kOk);
+  EXPECT_EQ(query.out, direct.out);
+  EXPECT_NE(query.err.find("alignments"), std::string::npos);
+  EXPECT_EQ(serve_result.exit_code, kOk);
+  EXPECT_NE(serve_result.err.find("listening on unix:"), std::string::npos);
+  EXPECT_NE(serve_result.err.find("shut down"), std::string::npos);
+  std::remove(sock.c_str());
+}
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -251,5 +252,128 @@ INSTANTIATE_TEST_SUITE_P(Schedules, RunTasksSchedules,
                                       ? "Static"
                                       : "Stealing";
                          });
+
+// --- exception propagation ---------------------------------------------------
+// A task that throws must surface at the run_tasks/parallel_chunks call
+// site (not std::terminate the pool worker): the daemon relies on this
+// to unwind an aborted query — RAII spill cleanup runs, the pool
+// survives — when a sink fails mid-search.
+
+TEST(RunTasksExceptions, SpawningOverloadRethrowsAtCallSite) {
+  for (const Schedule schedule : {Schedule::kStatic, Schedule::kStealing}) {
+    EXPECT_THROW(
+        scoris::util::run_tasks(16, 4, schedule,
+                                [](std::size_t t) {
+                                  if (t == 7) {
+                                    throw std::runtime_error("task 7");
+                                  }
+                                }),
+        std::runtime_error);
+  }
+}
+
+TEST(RunTasksExceptions, PoolOverloadRethrowsAndPoolSurvives) {
+  ThreadPool pool(4);
+  for (const Schedule schedule : {Schedule::kStatic, Schedule::kStealing}) {
+    EXPECT_THROW(scoris::util::run_tasks(pool, 16, schedule,
+                                         [](std::size_t t) {
+                                           if (t == 3) {
+                                             throw std::runtime_error("boom");
+                                           }
+                                         }),
+                 std::runtime_error);
+    // The pool must remain fully usable after a throwing batch.
+    std::atomic<int> ran{0};
+    scoris::util::run_tasks(pool, 8, schedule, [&ran](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ParallelChunksExceptions, BothOverloadsRethrow) {
+  EXPECT_THROW(parallel_chunks(0, 100, 4,
+                               [](std::size_t lo, std::size_t /*hi*/) {
+                                 if (lo == 0) {
+                                   throw std::runtime_error("chunk");
+                                 }
+                               }),
+               std::runtime_error);
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_chunks(pool, 0, 100,
+                               [](std::size_t lo, std::size_t /*hi*/) {
+                                 if (lo == 0) {
+                                   throw std::runtime_error("chunk");
+                                 }
+                               }),
+               std::runtime_error);
+}
+
+// --- concurrent callers on one pool ------------------------------------------
+// Several threads driving run_tasks batches through one shared pool must
+// each see exactly their own batch complete (and their own exceptions) —
+// this is the Session-sharing daemon's exact usage pattern.
+
+TEST(ConcurrentPoolCallers, EachCallerSeesItsOwnBatchComplete) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &failures, c] {
+      const Schedule schedule =
+          c % 2 == 0 ? Schedule::kStatic : Schedule::kStealing;
+      for (int round = 0; round < 5; ++round) {
+        std::vector<std::atomic<int>> hits(kTasks);
+        scoris::util::run_tasks(pool, kTasks, schedule,
+                                [&hits](std::size_t t) {
+                                  hits[t].fetch_add(
+                                      1, std::memory_order_relaxed);
+                                });
+        // run_tasks returned, so *this* batch must be fully done even
+        // while other callers' tasks are still in flight.
+        for (std::size_t t = 0; t < kTasks; ++t) {
+          if (hits[t].load() != 1) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrentPoolCallers, ExceptionsRouteToTheThrowingCallerOnly) {
+  ThreadPool pool(4);
+  std::atomic<int> throwing_caught{0};
+  std::atomic<int> clean_ok{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    const bool throws = c % 2 == 0;
+    callers.emplace_back([&pool, &throwing_caught, &clean_ok, throws] {
+      for (int round = 0; round < 10; ++round) {
+        try {
+          scoris::util::run_tasks(pool, 32, Schedule::kStealing,
+                                  [throws](std::size_t t) {
+                                    if (throws && t == 11) {
+                                      throw std::runtime_error("mine");
+                                    }
+                                  });
+          if (!throws) clean_ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          if (throws) {
+            throwing_caught.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(throwing_caught.load(), 20);
+  EXPECT_EQ(clean_ok.load(), 20);
+}
 
 }  // namespace
