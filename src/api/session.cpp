@@ -140,6 +140,7 @@ SearchOutcome Session::search(const seqio::SequenceBank& bank2,
   request.karlin = karlin_;
   request.ordering = limits.ordering;
   request.pool = pool_.get();
+  request.trace = limits.trace;
 
   if (limits.memory_budget_bytes > 0 || limits.min_chunks > 1) {
     core::ChunkedOptions copt;

@@ -39,6 +39,7 @@
 #include "core/options.hpp"
 #include "core/pipeline.hpp"
 #include "index/bank_index.hpp"
+#include "obs/trace.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "stats/karlin.hpp"
 #include "store/index_store.hpp"
@@ -78,6 +79,10 @@ struct SearchLimits {
   /// Override the session Options' spill directory for this query
   /// (empty = use the session options' value).
   std::string tmp_dir;
+  /// Collect per-stage spans for this query (index/scan/gapped/merge;
+  /// see obs::TraceRecorder).  Not owned; must outlive the search call.
+  /// nullptr = no tracing.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// What one search() call reports.  `stats` is also handed to the sink's

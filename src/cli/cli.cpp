@@ -21,6 +21,8 @@
 #include "daemon/server.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "seqio/fasta.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "seqio/serialize.hpp"
@@ -42,6 +44,7 @@ const std::vector<std::string>& known_flags() {
       "strand",  "evalue",     "dust",  "no-dust", "asymmetric",
       "s1",      "stats",      "help",  "version", "shards",
       "schedule", "memory-budget-mb", "delivery-budget-kb", "tmp-dir",
+      "trace-json",
   };
   return kKnown;
 }
@@ -53,6 +56,7 @@ const std::vector<std::string>& known_search_flags() {
       "no-dust", "asymmetric", "s1",  "stats",
       "memory-budget-mb", "help",     "shards",
       "schedule", "delivery-budget-kb", "tmp-dir",
+      "trace-json",
   };
   return kKnown;
 }
@@ -71,6 +75,7 @@ const std::vector<std::string>& known_serve_flags() {
       "dust",    "no-dust", "asymmetric", "s1",
       "shards",  "schedule", "memory-budget-mb",
       "delivery-budget-kb", "tmp-dir",    "help",
+      "log-level", "log-file",
   };
   return kKnown;
 }
@@ -78,6 +83,13 @@ const std::vector<std::string>& known_serve_flags() {
 const std::vector<std::string>& known_query_flags() {
   static const std::vector<std::string> kKnown = {
       "connect", "bank2", "out", "strand", "stats", "help",
+  };
+  return kKnown;
+}
+
+const std::vector<std::string>& known_stats_flags() {
+  static const std::vector<std::string> kKnown = {
+      "connect", "help",
   };
   return kKnown;
 }
@@ -237,6 +249,7 @@ bool parse_search_options(const util::Args& args, CliConfig& config,
     return false;
   }
   config.tmp_dir = args.get("tmp-dir");
+  config.trace_json_path = args.get("trace-json");
 
   config.dust = args.get_flag("dust", true);
   if (args.get_flag("no-dust")) config.dust = false;
@@ -287,6 +300,19 @@ void print_stats(std::ostream& err, const core::PipelineStats& s,
         << " s CPU total)\n"
         << std::defaultfloat << std::setprecision(6);
   }
+  // Per-group spreads for the other stages (one sample per strand/slice
+  // group): a straggling group shows up here without a profiler.
+  const auto print_group_balance = [&err](const char* label,
+                                          const core::exec::ShardBalance& g) {
+    if (g.shards == 0) return;
+    err << "  " << label << " groups: " << g.shards
+        << ", wall min/median/max " << std::fixed << std::setprecision(4)
+        << g.min_seconds << "/" << g.median_seconds << "/" << g.max_seconds
+        << " s\n"
+        << std::defaultfloat << std::setprecision(6);
+  };
+  print_group_balance("index", s.index_group_balance);
+  print_group_balance("gapped", s.gapped_group_balance);
 }
 
 /// Open config.out_path (or fall back to `out`) before the potentially
@@ -363,11 +389,16 @@ int run_compare(const CliConfig& config, std::ostream& out,
     // stream to the sink as they become final instead of accumulating.
     Session session(std::move(bank1), config.options);
     M8Writer writer(*sink);
+    obs::TraceRecorder trace;
     SearchLimits limits;
     limits.memory_budget_bytes =
         static_cast<std::size_t>(config.memory_budget_mb) << 20;
+    if (!config.trace_json_path.empty()) limits.trace = &trace;
     const SearchOutcome outcome = session.search(bank2, writer, limits);
     if (!flush_sink(config, *sink, err)) return kRuntimeError;
+    if (!config.trace_json_path.empty()) {
+      trace.write_chrome_json(config.trace_json_path);
+    }
     if (config.stats) print_outcome_stats(err, config, outcome);
   } catch (const SinkError& e) {
     // Output delivery failed (disk full, downstream pipe closed): the
@@ -406,11 +437,16 @@ int run_search(const CliConfig& config, std::ostream& out,
 
   try {
     M8Writer writer(*sink);
+    obs::TraceRecorder trace;
     SearchLimits limits;
     limits.memory_budget_bytes =
         static_cast<std::size_t>(config.memory_budget_mb) << 20;
+    if (!config.trace_json_path.empty()) limits.trace = &trace;
     const SearchOutcome outcome = session->search(bank2, writer, limits);
     if (!flush_sink(config, *sink, err)) return kRuntimeError;
+    if (!config.trace_json_path.empty()) {
+      trace.write_chrome_json(config.trace_json_path);
+    }
     if (config.stats) print_outcome_stats(err, config, outcome);
   } catch (const SinkError& e) {
     discard_partial_output(config, out_file);
@@ -489,6 +525,24 @@ class ServeSignalScope {
 };
 
 int run_serve(const ServeCliConfig& config, std::ostream& err) {
+  // All daemon output goes through the structured logger: RFC3339
+  // timestamps, levels, and key=value fields (connection ids come from
+  // the server).  --log-file redirects it; diagnostics the *CLI* emits
+  // before the daemon exists stay plain "error:" lines on err.
+  const obs::LogLevel level = obs::parse_log_level(config.log_level)
+                                  .value_or(obs::LogLevel::kInfo);
+  std::optional<obs::Logger> logger;
+  try {
+    if (!config.log_file.empty()) {
+      logger.emplace(config.log_file, level);
+    } else {
+      logger.emplace(err, level);
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
   std::optional<Session> session;
   try {
     session.emplace(
@@ -504,27 +558,32 @@ int run_serve(const ServeCliConfig& config, std::ostream& err) {
   server_config.max_clients = config.max_clients;
   server_config.base_limits.memory_budget_bytes =
       static_cast<std::size_t>(config.search.memory_budget_mb) << 20;
+  server_config.logger = &*logger;
 
   try {
     daemon::Server server(*session, server_config);
     server.bind();
-    // The ready line CI and tests wait for — flushed before the loop
-    // blocks, and carrying the resolved endpoint (real port for TCP
-    // port-0 binds).
-    err << "scoris serve: listening on " << net::to_string(server.endpoint())
-        << '\n';
-    err.flush();
+    // The ready line CI and tests wait for — logged (and flushed by the
+    // logger) before the loop blocks, carrying the resolved endpoint
+    // (real port for TCP port-0 binds).
+    logger->info("scoris serve: listening on " +
+                     net::to_string(server.endpoint()),
+                 {obs::kv("max_clients",
+                          static_cast<unsigned long long>(
+                              config.max_clients)),
+                  obs::kv("threads", config.search.threads)});
     {
       ServeSignalScope signals(server);
       server.serve();
     }
     const daemon::ServerCounters counters = server.counters();
-    err << "scoris serve: shut down after " << counters.served
-        << " queries (" << counters.accepted << " connections, "
-        << counters.rejected << " refused, " << counters.failed
-        << " failed)\n";
+    logger->info("scoris serve: shut down after " +
+                     std::to_string(counters.served) + " queries",
+                 {obs::kv("connections", counters.accepted),
+                  obs::kv("refused", counters.rejected),
+                  obs::kv("failed", counters.failed)});
   } catch (const std::exception& e) {
-    err << "error: " << e.what() << '\n';
+    logger->error(e.what());
     return kRuntimeError;
   }
   return kOk;
@@ -591,7 +650,33 @@ int run_query(const QueryCliConfig& config, std::ostream& out,
     }
     if (config.stats) {
       err << "scoris query: " << result.alignments << " alignments, "
-          << result.row_bytes << " m8 bytes\n";
+          << result.row_bytes << " m8 bytes";
+      if (result.server_seconds >= 0) {
+        // v2 servers report their own wall time in DONE, so the client
+        // can separate server compute from transfer/parse overhead.
+        const std::streamsize precision = err.precision();
+        err << ", server " << std::fixed << std::setprecision(3)
+            << result.server_seconds << " s";
+        err << std::defaultfloat << std::setprecision(precision);
+      }
+      err << '\n';
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+  return kOk;
+}
+
+int run_stats(const StatsCliConfig& config, std::ostream& out,
+              std::ostream& err) {
+  try {
+    net::QueryClient client = net::QueryClient::connect(config.endpoint);
+    out << client.stats();
+    out.flush();
+    if (!out) {
+      err << "error: writing metrics output failed\n";
+      return kRuntimeError;
     }
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';
@@ -611,6 +696,7 @@ void print_usage(std::ostream& os, const std::string& program) {
      << " search --index <ref.scix> --bank2 <b.fa> [options]\n"
      << "       " << program << " serve --index <ref.scix> --listen <addr>\n"
      << "       " << program << " query --connect <addr> --bank2 <b.fa>\n"
+     << "       " << program << " stats --connect <addr>\n"
      << "\n"
      << "Compare two DNA banks with the ORIS pipeline and write BLAST -m 8\n"
      << "tabular output. Banks are FASTA files (or binary .scob banks);\n"
@@ -639,6 +725,8 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "                  temp files over it (default: unbounded)\n"
      << "  --tmp-dir DIR   directory for spill-run temp files (default:\n"
      << "                  the system temp directory)\n"
+     << "  --trace-json FILE   write per-stage spans (index/scan/gapped/\n"
+     << "                  merge) as Chrome trace_event JSON to FILE\n"
      << "  --stats         print per-step statistics to stderr\n"
      << "  --help          show this message and exit\n"
      << "  --version       show version and exit\n";
@@ -696,6 +784,8 @@ void print_search_usage(std::ostream& os, const std::string& program) {
      << "                  temp files over it (default: unbounded)\n"
      << "  --tmp-dir DIR   directory for spill-run temp files (default:\n"
      << "                  the system temp directory)\n"
+     << "  --trace-json FILE   write per-stage spans (index/scan/gapped/\n"
+     << "                  merge) as Chrome trace_event JSON to FILE\n"
      << "  --stats         print per-step statistics to stderr\n"
      << "  --help          show this message and exit\n";
 }
@@ -724,6 +814,9 @@ void print_serve_usage(std::ostream& os, const std::string& program) {
      << "  --memory-budget-mb N / --delivery-budget-kb N / --tmp-dir DIR\n"
      << "                  per-query memory discipline, as in `" << program
      << " search`\n"
+     << "  --log-level L   error, warn, info (default), or debug\n"
+     << "  --log-file FILE append structured logs to FILE (default: the\n"
+     << "                  error stream)\n"
      << "  --help          show this message and exit\n";
 }
 
@@ -741,7 +834,23 @@ void print_query_usage(std::ostream& os, const std::string& program) {
      << "  --bank2 FILE    subject-side bank (FASTA or .scob)\n"
      << "  --out FILE      write m8 output to FILE (default: stdout)\n"
      << "  --strand S      plus, minus, or both (default: the server's)\n"
-     << "  --stats         print the result summary to stderr\n"
+     << "  --stats         print the result summary to stderr (includes\n"
+     << "                  the server-side query seconds on v2 servers)\n"
+     << "  --help          show this message and exit\n";
+}
+
+void print_stats_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program << " stats --connect <addr>\n"
+     << "\n"
+     << "Fetch a live metrics snapshot from a running `" << program
+     << " serve`\n"
+     << "daemon and print it to stdout in Prometheus text exposition\n"
+     << "format (see docs/OBSERVABILITY.md for the metric inventory).\n"
+     << "Requires a protocol-v2 server. Exits 1 if the server is busy,\n"
+     << "unreachable, or too old to answer STAT frames.\n"
+     << "\n"
+     << "options:\n"
+     << "  --connect ADDR  host:port or unix:/path, as given to --listen\n"
      << "  --help          show this message and exit\n";
 }
 
@@ -895,6 +1004,16 @@ bool parse_serve_cli(int argc, const char* const* argv,
   if (!parse_int_flag(args, "backlog", 1, 1 << 12, config.backlog, err)) {
     return false;
   }
+  const std::string log_level = args.get("log-level");
+  if (!log_level.empty()) {
+    if (!obs::parse_log_level(log_level)) {
+      err << "error: --log-level must be error, warn, info, or debug (got '"
+          << log_level << "')\n";
+      return false;
+    }
+    config.log_level = log_level;
+  }
+  config.log_file = args.get("log-file");
   return parse_search_options(args, config.search, err);
 }
 
@@ -936,6 +1055,35 @@ bool parse_query_cli(int argc, const char* const* argv,
     return false;
   }
   config.stats = args.get_flag("stats");
+  return true;
+}
+
+bool parse_stats_cli(int argc, const char* const* argv,
+                     StatsCliConfig& config, std::ostream& err) {
+  const util::Args args = util::Args::parse(argc, argv);
+
+  if (!reject_unknown_flags(args, known_stats_flags(), err)) return false;
+  if (!check_boolean_flag(args, "help", err)) return false;
+
+  config.help = args.get_flag("help");
+  if (config.help) return true;
+
+  if (!args.positional().empty()) {
+    err << "error: stats takes no positional arguments, got '"
+        << args.positional()[0] << "'\n";
+    return false;
+  }
+  const std::string connect = args.get("connect");
+  if (connect.empty()) {
+    err << "error: --connect is required\n";
+    return false;
+  }
+  try {
+    config.endpoint = net::parse_endpoint(connect);
+  } catch (const net::NetError& e) {
+    err << "error: " << e.what() << '\n';
+    return false;
+  }
   return true;
 }
 
@@ -998,6 +1146,19 @@ int run(int argc, const char* const* argv, std::ostream& out,
       return kOk;
     }
     return run_query(config, out, err);
+  }
+
+  if (subcommand == "stats") {
+    StatsCliConfig config;
+    if (!parse_stats_cli(argc - 1, argv + 1, config, err)) {
+      print_stats_usage(err, program);
+      return kUsage;
+    }
+    if (config.help) {
+      print_stats_usage(out, program);
+      return kOk;
+    }
+    return run_stats(config, out, err);
   }
 
   CliConfig config;

@@ -1,11 +1,12 @@
 // The `scoris` command-line driver.
 //
-// Five entry forms share one binary:
+// Six entry forms share one binary:
 //   scoris --bank1 a.fa --bank2 b.fa [options]   # compare (original form)
 //   scoris index --bank ref.fa --out ref.scix    # prebuild a .scix artifact
 //   scoris search --index ref.scix --bank2 b.fa  # compare against artifact
 //   scoris serve --index ref.scix --listen ADDR  # scorisd network daemon
 //   scoris query --connect ADDR --bank2 b.fa     # query a running daemon
+//   scoris stats --connect ADDR                  # scrape daemon metrics
 //
 // Wires util::Args -> FASTA/.scob/.scix loading -> scoris::Session ->
 // streaming M8Writer output.  Option values are validated by
@@ -62,6 +63,10 @@ struct CliConfig {
   std::size_t delivery_budget_kb = 0;
   /// Spill-run directory (Options::tmp_dir); empty = system temp dir.
   std::string tmp_dir;
+  /// When non-empty, record per-stage spans (index/scan/gapped/merge)
+  /// and write them as Chrome trace_event JSON to this path — load it in
+  /// chrome://tracing or Perfetto (see docs/OBSERVABILITY.md).
+  std::string trace_json_path;
   /// The validated option set the drivers execute with — filled (and
   /// checked via core::Options::validate) during parsing, so a config
   /// that parsed successfully is guaranteed runnable.
@@ -90,6 +95,8 @@ struct ServeCliConfig {
   net::Endpoint endpoint;       ///< parsed --listen
   std::size_t max_clients = 4;  ///< concurrent admitted connections
   int backlog = 16;             ///< kernel accept-queue bound
+  std::string log_level = "info";  ///< error | warn | info | debug
+  std::string log_file;  ///< structured-log path; empty = stderr stream
   bool help = false;
 };
 
@@ -100,6 +107,12 @@ struct QueryCliConfig {
   std::string out_path;    ///< empty = stdout
   std::string strand;      ///< empty = server default; plus|minus|both
   bool stats = false;      ///< print the DONE summary to stderr
+  bool help = false;
+};
+
+/// What `scoris stats` parsed from argv.
+struct StatsCliConfig {
+  net::Endpoint endpoint;  ///< parsed --connect
   bool help = false;
 };
 
@@ -125,6 +138,10 @@ bool parse_serve_cli(int argc, const char* const* argv,
 bool parse_query_cli(int argc, const char* const* argv,
                      QueryCliConfig& config, std::ostream& err);
 
+/// Parse the `scoris stats` argv (argv[0] is the subcommand token).
+bool parse_stats_cli(int argc, const char* const* argv,
+                     StatsCliConfig& config, std::ostream& err);
+
 /// Full driver: dispatch on the `index` / `search` subcommand (flat
 /// compare otherwise), load inputs, run, write m8 to `out` (or to
 /// config.out_path when given). Diagnostics and --stats go to `err`.
@@ -138,5 +155,6 @@ void print_index_usage(std::ostream& os, const std::string& program);
 void print_search_usage(std::ostream& os, const std::string& program);
 void print_serve_usage(std::ostream& os, const std::string& program);
 void print_query_usage(std::ostream& os, const std::string& program);
+void print_stats_usage(std::ostream& os, const std::string& program);
 
 }  // namespace scoris::cli

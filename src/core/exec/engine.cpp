@@ -10,12 +10,40 @@
 #include "core/chunked.hpp"
 #include "core/exec/run_merge.hpp"
 #include "core/ordered_extend.hpp"
+#include "obs/metrics.hpp"
 #include "seqio/strand.hpp"
 #include "util/threading.hpp"
 #include "util/timer.hpp"
 
 namespace scoris::core::exec {
 namespace {
+
+/// Engine-level metrics: volumes only (shards and groups executed); the
+/// increments happen once per shard/group in the engine driver, never
+/// inside scan_seed_range, so the hot scan loop stays lock- and
+/// atomic-free.
+struct EngineMetrics {
+  obs::Counter& shards;
+  obs::Counter& groups;
+
+  static EngineMetrics& get() {
+    static EngineMetrics* m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new EngineMetrics{
+          r.counter("scoris_exec_shards_total",
+                    "Step-2 seed-scan shards executed"),
+          r.counter("scoris_exec_groups_total",
+                    "(strand x slice) plan groups executed"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// Span label for a plan group, e.g. "g0+" / "g3-".
+std::string group_label(std::uint32_t gid, bool minus) {
+  return "g" + std::to_string(gid) + (minus ? "-" : "+");
+}
 
 using align::Hsp;
 using index::BankIndex;
@@ -64,6 +92,7 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   util::WallTimer total;
 
   // ---- step 1 (bank1 side, exactly once) ---------------------------------
+  obs::Span index1_span(request.trace, "index", "bank1");
   util::WallTimer t1;
   const int w = options.effective_w();
   if (request.prebuilt1 != nullptr && request.prebuilt1->w() != w) {
@@ -86,6 +115,7 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   const BankIndex& idx1 =
       request.prebuilt1 != nullptr ? *request.prebuilt1 : *own1;
   st.index_seconds += t1.seconds();
+  index1_span.finish();
 
   // ---- plan ---------------------------------------------------------------
   PlanRequest preq;
@@ -129,6 +159,12 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   }
   std::size_t emitted = 0;
   std::size_t batches = 0;
+  // One sample per group for the stages that run group-at-a-time, so
+  // --stats can show each stage's min/median/max, not just a sum.
+  std::vector<double> index_group_seconds;
+  std::vector<double> gapped_group_seconds;
+  index_group_seconds.reserve(plan.groups.size());
+  gapped_group_seconds.reserve(plan.groups.size());
 
   // ---- groups, sequentially (one slice index in memory at a time) --------
   // Groups are slice-major (plus, then minus, of the same slice), so the
@@ -137,10 +173,12 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   SliceRange sliced_range{0, 0};
   for (std::uint32_t gid = 0; gid < plan.groups.size(); ++gid) {
     const ShardGroup& group = plan.groups[gid];
+    const std::string label = group_label(gid, group.minus);
 
     // Subject bank for the group: the bank2 slice, reverse-complemented
     // for minus groups.  The whole-bank forward case borrows bank2
     // directly instead of copying.
+    obs::Span index2_span(request.trace, "index", label);
     util::WallTimer tg;
     const bool whole =
         group.slice.from == 0 && group.slice.to == bank2.size();
@@ -163,7 +201,10 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
     }
     if (options.asymmetric) iopt2.stride = 2;
     const BankIndex idx2(subject, coder, iopt2);
-    st.index_seconds += tg.seconds();
+    const double tg_seconds = tg.seconds();
+    index_group_seconds.push_back(tg_seconds);
+    st.index_seconds += tg_seconds;
+    index2_span.finish();
     st.masked_bases += idx2.masked_bases();
     peak_idx2_bytes = std::max(peak_idx2_bytes, idx2.memory_bytes());
     peak_idx2_dict = std::max(peak_idx2_dict, idx2.dictionary_bytes());
@@ -172,6 +213,7 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
         std::max(peak_subject_positions, subject.data_size());
 
     // ---- step 2: shards on the scheduler ---------------------------------
+    obs::Span scan_span(request.trace, "scan", label);
     util::WallTimer t2;
     std::vector<SeedScanResult> partials(group.shard_count);
     const auto run_shard = [&](std::size_t s) {
@@ -227,8 +269,11 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
     }
     st.hsps += hsps.size();
     st.hsp_seconds += t2.seconds();
+    scan_span.finish();
+    EngineMetrics::get().shards.inc(group.shard_count);
 
     // ---- step 3: gapped extension ----------------------------------------
+    obs::Span gapped_span(request.trace, "gapped", label);
     util::WallTimer t3;
     GappedStageOptions gopt;
     gopt.scoring = options.scoring;
@@ -261,7 +306,11 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
         a.e2 = a.e2 - delta_src + delta_dst;
       }
     }
-    st.gapped_seconds += t3.seconds();
+    const double t3_seconds = t3.seconds();
+    gapped_group_seconds.push_back(t3_seconds);
+    st.gapped_seconds += t3_seconds;
+    gapped_span.finish();
+    EngineMetrics::get().groups.inc();
 
     // ---- deliver or add a sorted run -------------------------------------
     if (stream_groups) {
@@ -285,6 +334,7 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   // merge streams the canonical global order through the sink in bounded
   // batches instead of re-sorting one whole-hit-set vector.
   if (!stream_groups) {
+    obs::Span merge_span(request.trace, "merge", "global");
     HitBatch batch;
     batch.bank1 = request.bank1;
     batch.bank2 = request.bank2;
@@ -310,6 +360,8 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   st.hit_pairs = reducer.total_hit_pairs();
   st.order_aborts = reducer.total_order_aborts();
   st.shard_balance = reducer.balance();
+  st.index_group_balance = reduce_seconds(std::move(index_group_seconds));
+  st.gapped_group_balance = reduce_seconds(std::move(gapped_group_seconds));
   st.masked_bases += idx1.masked_bases();
   st.index_bytes = idx1.memory_bytes() + peak_idx2_bytes;
   st.index_dict_bytes = idx1.dictionary_bytes() + peak_idx2_dict;

@@ -31,6 +31,7 @@
 #include "core/exec/plan.hpp"
 #include "core/hit_sink.hpp"
 #include "core/pipeline.hpp"
+#include "obs/trace.hpp"
 
 namespace scoris::core::exec {
 
@@ -54,6 +55,11 @@ struct ExecRequest {
   /// Reusable worker pool (a Session's); nullptr = spawn workers per
   /// scheduling point as before.
   util::ThreadPool* pool = nullptr;
+  /// Optional per-query trace collector: the engine records spans for
+  /// the index/scan/gapped/merge stages of every group (Chrome
+  /// trace_event export via obs::TraceRecorder).  nullptr = no tracing,
+  /// zero overhead on the scan path.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// What a sink-driven run reports besides the alignments it streamed.

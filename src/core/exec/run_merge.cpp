@@ -13,12 +13,36 @@
 #include <utility>
 
 #include "core/gapped_stage.hpp"
+#include "obs/metrics.hpp"
 #include "store/format.hpp"
 
 namespace scoris::core::exec {
 namespace {
 
 using align::GappedAlignment;
+
+/// Merge/spill metrics: how often the delivery budget forces disk, and
+/// the process-wide high-water mark of delivery-path memory.
+struct MergeMetrics {
+  obs::Counter& spilled_runs;
+  obs::Counter& spill_bytes;
+  obs::Gauge& peak_delivery_bytes;
+
+  static MergeMetrics& get() {
+    static MergeMetrics* m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new MergeMetrics{
+          r.counter("scoris_spill_runs_total",
+                    "Sorted runs spilled to temp files"),
+          r.counter("scoris_spill_bytes_total",
+                    "Bytes written to spill files"),
+          r.gauge("scoris_peak_delivery_bytes",
+                  "High-water mark of delivery-path memory"),
+      };
+    }();
+    return *m;
+  }
+};
 
 // Spill runs are a process-private scratch format: raw trivially-copyable
 // structs framed by the shared versioned container, consumed by the same
@@ -140,6 +164,8 @@ void RunMerger::track_peak(std::size_t batch_capacity) {
   stats_.peak_delivery_bytes =
       std::max(stats_.peak_delivery_bytes,
                retained_bytes_ + head_bytes_ + batch_capacity * kAlignBytes);
+  MergeMetrics::get().peak_delivery_bytes.max_of(
+      static_cast<std::int64_t>(stats_.peak_delivery_bytes));
 }
 
 void RunMerger::add_run(std::vector<GappedAlignment>&& run) {
@@ -166,7 +192,9 @@ void RunMerger::add_run(std::vector<GappedAlignment>&& run) {
     if (!os) {
       throw std::runtime_error("spill run: cannot create " + spilled.path);
     }
-    stats_.spill_bytes += write_spill_run(os, run, block_elems_);
+    const std::uint64_t written = write_spill_run(os, run, block_elems_);
+    stats_.spill_bytes += written;
+    MergeMetrics::get().spill_bytes.inc(written);
     os.close();
     if (!os) {
       throw std::runtime_error("spill run: write failed: " + spilled.path);
@@ -180,6 +208,7 @@ void RunMerger::add_run(std::vector<GappedAlignment>&& run) {
     throw;
   }
   ++stats_.spilled_runs;
+  MergeMetrics::get().spilled_runs.inc();
   runs_.push_back(std::move(spilled));
 }
 

@@ -16,21 +16,23 @@ std::size_t ShardStatsReducer::total_order_aborts() const {
   return n;
 }
 
-ShardBalance ShardStatsReducer::balance() const {
+ShardBalance reduce_seconds(std::vector<double> seconds) {
   ShardBalance b;
-  b.shards = samples_.size();
-  if (samples_.empty()) return b;
-  std::vector<double> seconds;
-  seconds.reserve(samples_.size());
-  for (const ShardStats& s : samples_) {
-    seconds.push_back(s.seconds);
-    b.total_seconds += s.seconds;
-  }
+  b.shards = seconds.size();
+  if (seconds.empty()) return b;
+  for (const double s : seconds) b.total_seconds += s;
   std::sort(seconds.begin(), seconds.end());
   b.min_seconds = seconds.front();
   b.max_seconds = seconds.back();
   b.median_seconds = seconds[seconds.size() / 2];
   return b;
+}
+
+ShardBalance ShardStatsReducer::balance() const {
+  std::vector<double> seconds;
+  seconds.reserve(samples_.size());
+  for (const ShardStats& s : samples_) seconds.push_back(s.seconds);
+  return reduce_seconds(std::move(seconds));
 }
 
 }  // namespace scoris::core::exec

@@ -36,6 +36,11 @@ struct ShardBalance {
   double total_seconds = 0.0;  ///< sum over shards (CPU-seconds of step 2)
 };
 
+/// Reduce raw wall-time samples into a ShardBalance.  Shared by the
+/// step-2 reducer and the engine's per-group stage timings, so every
+/// min/median/max in --stats comes from one definition.
+[[nodiscard]] ShardBalance reduce_seconds(std::vector<double> seconds);
+
 /// Slot-per-shard accumulator: workers record concurrently without locks
 /// because each shard owns its slot.
 class ShardStatsReducer {

@@ -77,6 +77,12 @@ struct PipelineStats {
   /// Step-2 shard wall-time spread over all (strand x slice) groups —
   /// scheduler balance at a glance (--stats prints min/median/max).
   exec::ShardBalance shard_balance;
+  /// Per-group wall-time spreads for the other stages, one sample per
+  /// (strand x slice) group, so stragglers are visible stage by stage:
+  /// subject indexing and the gapped stage run group-at-a-time, which is
+  /// the natural "shard" of those stages.
+  exec::ShardBalance index_group_balance;
+  exec::ShardBalance gapped_group_balance;
 };
 
 struct Result {

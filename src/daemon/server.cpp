@@ -8,9 +8,55 @@
 #include <vector>
 
 #include "compare/m8.hpp"
+#include "obs/metrics.hpp"
 #include "seqio/fasta.hpp"
+#include "util/timer.hpp"
 
 namespace scoris::daemon {
+
+namespace {
+
+/// Daemon-level metrics in the process registry.  References are
+/// resolved once (registration takes the registry lock) and reused;
+/// every increment after that is a relaxed sharded atomic.
+struct DaemonMetrics {
+  obs::Counter& connections_accepted;
+  obs::Counter& busy_refusals;
+  obs::Counter& queries_started;
+  obs::Counter& queries_completed;
+  obs::Counter& queries_errored;
+  obs::Counter& bytes_sent;
+  obs::Gauge& active_connections;
+  obs::Histogram& query_seconds;
+
+  static DaemonMetrics& get() {
+    static DaemonMetrics* m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new DaemonMetrics{
+          r.counter("scorisd_connections_accepted_total",
+                    "Connections admitted (HELO sent)"),
+          r.counter("scorisd_busy_refusals_total",
+                    "Connections refused with BUSY (admission control)"),
+          r.counter("scorisd_queries_started_total",
+                    "QRY frames whose processing began"),
+          r.counter("scorisd_queries_completed_total",
+                    "Queries that reached DONE"),
+          r.counter("scorisd_queries_errored_total",
+                    "Queries that ended in ERR or a dropped connection"),
+          r.counter("scorisd_bytes_sent_total",
+                    "m8 result bytes streamed to clients"),
+          r.gauge("scorisd_active_connections",
+                  "Currently admitted client connections"),
+          r.histogram("scorisd_query_seconds",
+                      "Server-side wall time per query",
+                      obs::latency_buckets()),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 void SocketM8Sink::on_group(std::span<const align::GappedAlignment> hits,
                             const HitBatch& batch) {
@@ -49,6 +95,20 @@ struct Server::Shared {
   net::WakePipe wake;
   std::atomic<bool> stopping{false};
   std::atomic<std::size_t> active{0};
+  std::atomic<std::uint64_t> next_conn_id{1};
+
+  /// nullptr-safe logger access — `log().info(...)` works whether or
+  /// not the embedder provided one.
+  [[nodiscard]] obs::Logger& log() {
+    static obs::Logger silent(null_stream(), obs::LogLevel::kError);
+    return config.logger != nullptr ? *config.logger : silent;
+  }
+
+  static std::ostream& null_stream() {
+    // An ostream with no streambuf sets badbit and discards all writes.
+    static std::ostream* s = new std::ostream(nullptr);
+    return *s;
+  }
 
   // Drain coordination and counters.  `active` is decremented under the
   // mutex so the drain wait cannot miss the final notify.
@@ -135,6 +195,12 @@ void Server::serve() {
     if (!client.valid()) continue;
     if (!shared.admit()) {
       shared.count(&ServerCounters::rejected);
+      DaemonMetrics::get().busy_refusals.inc();
+      shared.log().warn("connection refused",
+                        {obs::kv("reason", "max clients"),
+                         obs::kv("max_clients",
+                                 static_cast<unsigned long long>(
+                                     shared.config.max_clients))});
       try {
         net::PayloadWriter busy;
         busy.put_string("all " +
@@ -148,7 +214,12 @@ void Server::serve() {
       continue;
     }
     shared.count(&ServerCounters::accepted);
-    std::thread(&Server::handle_client, shared_, std::move(client))
+    DaemonMetrics::get().connections_accepted.inc();
+    DaemonMetrics::get().active_connections.add(1);
+    const std::uint64_t conn_id =
+        shared.next_conn_id.fetch_add(1, std::memory_order_relaxed);
+    shared.log().info("connection accepted", {obs::kv("conn", conn_id)});
+    std::thread(&Server::handle_client, shared_, std::move(client), conn_id)
         .detach();
   }
   // Stop accepting, then drain: in-flight queries finish and stream
@@ -162,13 +233,18 @@ void Server::serve() {
 }
 
 void Server::handle_client(std::shared_ptr<Shared> shared,
-                           net::Socket client) {
+                           net::Socket client, std::uint64_t conn_id) {
   // The admission slot is held for the connection's whole lifetime and
   // released on every exit path, including throws.
   struct SlotGuard {
     Shared& shared;
-    ~SlotGuard() { shared.release(); }
-  } guard{*shared};
+    std::uint64_t conn_id;
+    ~SlotGuard() {
+      DaemonMetrics::get().active_connections.sub(1);
+      shared.log().info("connection closed", {obs::kv("conn", conn_id)});
+      shared.release();
+    }
+  } guard{*shared, conn_id};
 
   try {
     net::PayloadWriter hello;
@@ -189,24 +265,40 @@ void Server::handle_client(std::shared_ptr<Shared> shared,
       }
       if ((ready & 1) == 0) continue;
       if (!net::read_frame(client, frame)) return;  // client hung up
+      if (frame.tag == net::kStatTag) {
+        // Snapshot outside any lock the query path touches; the render
+        // only takes the registry's registration mutex.
+        const std::string snapshot =
+            obs::Registry::global().render_prometheus();
+        net::write_frame(client, net::kStatTag, snapshot);
+        shared->log().debug("stats snapshot served",
+                            {obs::kv("conn", conn_id),
+                             obs::kv("bytes", snapshot.size())});
+        continue;
+      }
       if (frame.tag != net::kQueryTag) {
-        throw net::NetError("expected QRY, got '" +
+        throw net::NetError("expected QRY or STAT, got '" +
                             net::tag_name(frame.tag) + "'");
       }
-      serve_query(*shared, client, frame);
+      serve_query(*shared, client, frame, conn_id);
     }
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     // Transport died or the client broke protocol: this connection is
     // over, every other client is untouched.
     shared->count(&ServerCounters::failed);
+    shared->log().warn("connection failed", {obs::kv("conn", conn_id),
+                                             obs::kv("error", e.what())});
   }
 }
 
 void Server::serve_query(Shared& shared, net::Socket& client,
-                         const net::Frame& request) {
+                         const net::Frame& request, std::uint64_t conn_id) {
   // Per-query failures (bad FASTA, oversized payload, engine errors)
   // produce an ERR frame and leave the connection serving; only a dead
   // transport (NetError from a send) propagates to handle_client.
+  DaemonMetrics& metrics = DaemonMetrics::get();
+  metrics.queries_started.inc();
+  util::WallTimer timer;
   std::string error;
   try {
     if (request.payload.size() > shared.config.max_query_bytes) {
@@ -242,20 +334,35 @@ void Server::serve_query(Shared& shared, net::Socket& client,
     shared.session->search(bank2, sink, limits);
     sink.flush();
 
+    const double seconds = timer.seconds();
     net::PayloadWriter done;
     done.put_u64(sink.rows());
     done.put_u64(sink.row_bytes());
+    done.put_f64(seconds);
     const std::vector<std::uint8_t> payload = done.take();
     net::write_frame(client, net::kDoneTag, payload);
     shared.count(&ServerCounters::served);
+    metrics.queries_completed.inc();
+    metrics.bytes_sent.inc(sink.row_bytes());
+    metrics.query_seconds.observe(seconds);
+    shared.log().info("query served",
+                      {obs::kv("conn", conn_id), obs::kv("rows", sink.rows()),
+                       obs::kv("bytes", sink.row_bytes()),
+                       obs::kv("seconds", seconds)});
     return;
   } catch (const net::NetError&) {
     shared.count(&ServerCounters::failed);
+    metrics.queries_errored.inc();
+    metrics.query_seconds.observe(timer.seconds());
     throw;  // connection-fatal: the handler closes it
   } catch (const std::exception& e) {
     error = e.what();
   }
   shared.count(&ServerCounters::failed);
+  metrics.queries_errored.inc();
+  metrics.query_seconds.observe(timer.seconds());
+  shared.log().warn("query failed", {obs::kv("conn", conn_id),
+                                     obs::kv("error", error)});
   net::PayloadWriter err;
   err.put_string(error);
   const std::vector<std::uint8_t> payload = err.take();

@@ -45,6 +45,7 @@
 #include "api/session.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/log.hpp"
 
 namespace scoris::daemon {
 
@@ -62,6 +63,10 @@ struct ServerConfig {
   /// Applied to every query (delivery budget, tmp dir, ...); the QRY
   /// strand byte overrides `base_limits.strand` per query.
   SearchLimits base_limits;
+  /// Structured logger for lifecycle + per-connection events (not
+  /// owned; must outlive serve()).  nullptr silences the daemon —
+  /// metrics still accumulate in obs::Registry::global().
+  obs::Logger* logger = nullptr;
 };
 
 /// Tallies exposed for tests and the serve-loop log line.
@@ -129,9 +134,9 @@ class Server {
   struct Shared;
 
   static void handle_client(std::shared_ptr<Shared> shared,
-                            net::Socket client);
+                            net::Socket client, std::uint64_t conn_id);
   static void serve_query(Shared& shared, net::Socket& client,
-                          const net::Frame& request);
+                          const net::Frame& request, std::uint64_t conn_id);
 
   std::shared_ptr<Shared> shared_;
   net::Socket listener_;

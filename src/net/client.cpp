@@ -19,11 +19,15 @@ QueryClient QueryClient::connect(const Endpoint& ep) {
   }
   PayloadReader reader(frame.payload, "HELO");
   const std::uint32_t version = reader.get_u32();
-  if (version != kProtocolVersion) {
+  // v2 is a superset of v1, so any version in range is usable; v2-only
+  // features (STAT, DONE server seconds) are gated on the stored value.
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     throw NetError("server speaks protocol version " +
                    std::to_string(version) + ", this client speaks " +
+                   std::to_string(kMinProtocolVersion) + ".." +
                    std::to_string(kProtocolVersion));
   }
+  client.version_ = version;
   client.max_query_bytes_ = reader.get_u64();
   return client;
 }
@@ -57,6 +61,9 @@ QueryResult QueryClient::query(std::string_view fasta, QueryStrand strand,
       result.ok = true;
       result.alignments = reader.get_u64();
       result.row_bytes = reader.get_u64();
+      if (reader.remaining() >= 8) {  // v2 trailing field
+        result.server_seconds = reader.get_f64();
+      }
       if (result.row_bytes != received) {
         throw NetError("server reported " +
                        std::to_string(result.row_bytes) +
@@ -74,6 +81,28 @@ QueryResult QueryClient::query(std::string_view fasta, QueryStrand strand,
     throw NetError("unexpected frame '" + tag_name(frame.tag) +
                    "' during a query");
   }
+}
+
+std::string QueryClient::stats() {
+  if (version_ < kStatProtocolVersion) {
+    throw NetError("server speaks protocol version " +
+                   std::to_string(version_) +
+                   ", which predates the STAT frame");
+  }
+  write_frame(sock_, kStatTag, std::string_view{});
+  Frame frame;
+  if (!read_frame(sock_, frame)) {
+    throw NetError("server closed the connection before the STAT reply");
+  }
+  if (frame.tag == kErrorTag) {
+    PayloadReader reader(frame.payload, "ERR");
+    throw NetError("stats request failed: " + reader.get_string());
+  }
+  if (frame.tag != kStatTag) {
+    throw NetError("expected STAT reply, got '" + tag_name(frame.tag) + "'");
+  }
+  return std::string(reinterpret_cast<const char*>(frame.payload.data()),
+                     frame.payload.size());
 }
 
 }  // namespace scoris::net

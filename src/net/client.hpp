@@ -32,6 +32,9 @@ struct QueryResult {
   std::uint64_t alignments = 0;  ///< rows the server produced
   std::uint64_t row_bytes = 0;   ///< m8 bytes the server sent
   std::string error;             ///< ERR message when !ok
+  /// Server-side wall time for the query (v2 DONE frames); negative when
+  /// the server predates protocol v2 and did not report it.
+  double server_seconds = -1.0;
 };
 
 class QueryClient {
@@ -50,10 +53,17 @@ class QueryClient {
   QueryResult query(std::string_view fasta, QueryStrand strand,
                     const RowsCallback& on_rows);
 
+  /// Fetch the daemon's metrics snapshot (STAT frame) as Prometheus
+  /// text.  Requires a protocol-v2 server; throws NetError against v1.
+  [[nodiscard]] std::string stats();
+
   /// Server-advertised cap on one QRY payload (from HELO).
   [[nodiscard]] std::uint64_t max_query_bytes() const {
     return max_query_bytes_;
   }
+
+  /// Protocol version the server announced in HELO.
+  [[nodiscard]] std::uint32_t version() const { return version_; }
 
   /// Drop the connection without protocol ceremony — the tests use this
   /// to simulate a client dying mid-stream.
@@ -64,6 +74,7 @@ class QueryClient {
 
   Socket sock_;
   std::uint64_t max_query_bytes_ = 0;
+  std::uint32_t version_ = kProtocolVersion;
 };
 
 }  // namespace scoris::net

@@ -1,5 +1,6 @@
 #include "net/frame.hpp"
 
+#include <bit>
 #include <cctype>
 #include <cstring>
 
@@ -89,6 +90,10 @@ void PayloadWriter::put_u32(std::uint32_t v) { append_u32(bytes_, v); }
 
 void PayloadWriter::put_u64(std::uint64_t v) { append_u64(bytes_, v); }
 
+void PayloadWriter::put_f64(double v) {
+  append_u64(bytes_, std::bit_cast<std::uint64_t>(v));
+}
+
 void PayloadWriter::put_string(std::string_view s) {
   if (s.size() > kMaxFramePayload) {
     throw NetError("string too large for a frame payload");
@@ -136,6 +141,8 @@ std::uint64_t PayloadReader::get_u64() {
   cursor_ += 8;
   return v;
 }
+
+double PayloadReader::get_f64() { return std::bit_cast<double>(get_u64()); }
 
 std::string PayloadReader::get_string() {
   const std::uint32_t len = get_u32();

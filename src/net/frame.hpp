@@ -10,7 +10,7 @@
 // TCP/Unix stream sockets already checksum, and a truncated frame is
 // detected positionally (recv_exact throws mid-message).
 //
-// Conversation (protocol version 1):
+// Conversation (protocol version 2):
 //
 //   server -> client   HELO [u32 version][u64 max_query_bytes]
 //                        — admission granted, immediately after accept
@@ -20,14 +20,27 @@
 //                            2 = minus, 3 = both)][FASTA bytes]
 //   server -> client   ROWS [raw m8 text]            (0..n per query)
 //   server -> client   DONE [u64 alignments][u64 row_bytes]
+//                           [f64 server_seconds]        (v2+)
 //                        — query complete; row_bytes lets the client
-//                          verify it received every ROWS byte
+//                          verify it received every ROWS byte, and
+//                          server_seconds is the server-side query wall
+//                          time (absent in v1 frames)
 //   server -> client   ERR  [string message]
 //                        — that query failed; the connection stays
 //                          usable for the next QRY
+//   client -> server   STAT []                            (v2+)
+//                        — request an observability snapshot
+//   server -> client   STAT [Prometheus text exposition bytes]  (v2+)
+//                        — the process metrics registry, rendered
 //
-// A client may send any number of QRY frames on one connection; closing
-// the connection ends the session.  Strings are [u32 length][bytes].
+// A client may send any number of QRY/STAT frames on one connection;
+// closing the connection ends the session.  Strings are
+// [u32 length][bytes].
+//
+// Versioning: the server states its version in HELO.  Version 2 is a
+// superset of version 1 (new STAT frame, DONE gained a trailing f64);
+// clients accept any server version in [kMinProtocolVersion,
+// kProtocolVersion] and gate v2-only features on the negotiated value.
 #pragma once
 
 #include <array>
@@ -54,8 +67,13 @@ inline constexpr FrameTag kQueryTag = make_frame_tag("QRY ");
 inline constexpr FrameTag kRowsTag = make_frame_tag("ROWS");
 inline constexpr FrameTag kDoneTag = make_frame_tag("DONE");
 inline constexpr FrameTag kErrorTag = make_frame_tag("ERR ");
+inline constexpr FrameTag kStatTag = make_frame_tag("STAT");
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Oldest server version this client generation still understands.
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
+/// First version with the STAT frame and the DONE server-seconds field.
+inline constexpr std::uint32_t kStatProtocolVersion = 2;
 
 /// Hard upper bound on one frame's payload — a corrupt or hostile
 /// length prefix must not become a multi-gigabyte allocation.
@@ -91,6 +109,7 @@ class PayloadWriter {
   void put_u8(std::uint8_t v) { bytes_.push_back(v); }
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
+  void put_f64(double v);  ///< IEEE-754 bits, little-endian
   void put_string(std::string_view s);  ///< u32 length + bytes
   void put_bytes(std::string_view s);   ///< raw, unprefixed
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
@@ -109,9 +128,15 @@ class PayloadReader {
   [[nodiscard]] std::uint8_t get_u8();
   [[nodiscard]] std::uint32_t get_u32();
   [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] double get_f64();
   [[nodiscard]] std::string get_string();
   /// Everything not yet consumed, as text (QRY carries FASTA this way).
   [[nodiscard]] std::string_view rest() const;
+  /// Unconsumed byte count — lets DONE parsing detect the optional v2
+  /// trailing field without risking a truncation throw.
+  [[nodiscard]] std::size_t remaining() const {
+    return payload_.size() - cursor_;
+  }
 
  private:
   void require(std::size_t n) const;

@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace scoris::obs {
+
+namespace {
+
+/// Prometheus renders bucket bounds as floats; keep integral bounds
+/// short ("1" not "1.000000") so the exposition is stable and readable.
+std::string format_double(double v) {
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::logic_error("histogram bounds must be strictly ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  // First bound >= v, i.e. the `le` bucket this observation belongs to;
+  // past-the-end means the +Inf overflow slot.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t slot = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(old_bits) + v;
+    if (sum_bits_.compare_exchange_weak(old_bits,
+                                        std::bit_cast<std::uint64_t>(updated),
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<double> latency_buckets() {
+  return {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60};
+}
+
+Registry::Entry& Registry::entry(const std::string& name,
+                                 const std::string& help, Kind kind) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.help = help;
+  } else if (e.kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered as a different kind");
+  }
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, help, Kind::kCounter);
+  if (!e.counter) {
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, help, Kind::kGauge);
+  if (!e.gauge) {
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, help, Kind::kHistogram);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) {
+      out << "# HELP " << name << ' ' << e.help << '\n';
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << ' ' << e.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        const Histogram& h = *e.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out << name << "_bucket{le=\"" << format_double(h.bounds()[i])
+              << "\"} " << cumulative << '\n';
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+        out << name << "_sum " << format_double(h.sum()) << '\n';
+        out << name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: metrics
+  return *instance;                            // outlive static teardown
+}
+
+}  // namespace scoris::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace scoris::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+int TraceRecorder::thread_index_locked(std::thread::id id) {
+  auto [it, inserted] = thread_ids_.try_emplace(
+      id, static_cast<int>(thread_ids_.size()));
+  return it->second;
+}
+
+void TraceRecorder::record(std::string name,
+                           std::chrono::steady_clock::time_point start,
+                           std::chrono::steady_clock::time_point end,
+                           std::string group) {
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.group = std::move(group);
+  const auto from_epoch = start < epoch_ ? epoch_ : start;
+  event.start_micros = static_cast<std::uint64_t>(
+      duration_cast<microseconds>(from_epoch - epoch_).count());
+  event.duration_micros = static_cast<std::uint64_t>(
+      duration_cast<microseconds>(end < start ? microseconds(0)
+                                              : end - start)
+          .count());
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = thread_index_locked(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::vector<TraceEvent> sorted = events();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_micros != b.start_micros) {
+                return a.start_micros < b.start_micros;
+              }
+              return a.name < b.name;
+            });
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : sorted) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append("\n  {\"name\":");
+    append_json_string(out, event.name);
+    out.append(",\"cat\":\"scoris\",\"ph\":\"X\",\"ts\":");
+    out.append(std::to_string(event.start_micros));
+    out.append(",\"dur\":");
+    out.append(std::to_string(event.duration_micros));
+    out.append(",\"pid\":1,\"tid\":");
+    out.append(std::to_string(event.tid));
+    if (!event.group.empty()) {
+      out.append(",\"args\":{\"group\":");
+      append_json_string(out, event.group);
+      out.append("}");
+    }
+    out.append("}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  file << to_chrome_json();
+  if (!file) {
+    throw std::runtime_error("failed writing trace file: " + path);
+  }
+}
+
+Span::Span(TraceRecorder* recorder, std::string name, std::string group)
+    : recorder_(recorder),
+      name_(std::move(name)),
+      group_(std::move(group)),
+      start_(recorder ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{}) {}
+
+void Span::finish() {
+  if (recorder_ == nullptr || done_) {
+    return;
+  }
+  done_ = true;
+  recorder_->record(std::move(name_), start_, std::chrono::steady_clock::now(),
+                    std::move(group_));
+}
+
+Span::~Span() { finish(); }
+
+}  // namespace scoris::obs

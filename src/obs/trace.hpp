@@ -1,0 +1,78 @@
+// Per-query tracing: named spans collected into a recorder and
+// exportable as Chrome trace_event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// A Span is RAII: construction stamps the start, destruction records a
+// complete ("ph":"X") event.  Spans are cheap (two steady_clock reads +
+// one short mutexed append on close) and null-safe — every constructor
+// accepts a nullptr recorder and becomes a no-op, so instrumented code
+// needs no `if (trace)` guards and pays nothing when tracing is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scoris::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_micros = 0;  ///< relative to the recorder epoch
+  std::uint64_t duration_micros = 0;
+  int tid = 0;              ///< small per-recorder thread index
+  std::string group;        ///< optional label, emitted as args.group
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  void record(std::string name, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end, std::string group);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Serialize as a Chrome trace_event JSON object document:
+  /// {"traceEvents":[...]}.  Deterministic order (events sorted by
+  /// start time, then name).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// to_chrome_json() written to `path`; throws std::runtime_error on
+  /// I/O failure.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  int thread_index_locked(std::thread::id id);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> thread_ids_;
+};
+
+/// RAII span; records on destruction.  All operations are no-ops when
+/// `recorder` is nullptr.
+class Span {
+ public:
+  Span(TraceRecorder* recorder, std::string name, std::string group = "");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Record now instead of at destruction (idempotent).
+  void finish();
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string group_;
+  std::chrono::steady_clock::time_point start_;
+  bool done_ = false;
+};
+
+}  // namespace scoris::obs

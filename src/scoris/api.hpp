@@ -24,6 +24,9 @@
 #include "net/client.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seqio/fasta.hpp"
 #include "seqio/sequence_bank.hpp"
 #include "seqio/serialize.hpp"

@@ -3,8 +3,35 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.hpp"
+
 namespace scoris::util {
 namespace {
+
+/// Pool/scheduler metrics.  The queue-depth gauge aggregates across all
+/// live pools (transient parallel_chunks pools included), so it reads as
+/// "tasks queued process-wide right now" — exactly the saturation signal
+/// a loaded daemon needs.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Counter& steals;
+  obs::Gauge& queue_depth;
+
+  static PoolMetrics& get() {
+    static PoolMetrics* m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new PoolMetrics{
+          r.counter("scoris_pool_tasks_total",
+                    "Tasks executed by thread pools"),
+          r.counter("scoris_exec_steals_total",
+                    "Tasks that migrated between workers (kStealing)"),
+          r.gauge("scoris_pool_queue_depth",
+                  "Tasks queued across all live pools"),
+      };
+    }();
+    return *m;
+  }
+};
 
 /// Per-call completion latch for one batch of parallel work.
 ///
@@ -72,6 +99,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mu_);
     tasks_.push(std::move(task));
   }
+  PoolMetrics::get().queue_depth.add(1);
   cv_task_.notify_one();
 }
 
@@ -91,6 +119,8 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++in_flight_;
     }
+    PoolMetrics::get().queue_depth.sub(1);
+    PoolMetrics::get().tasks.inc();
     task();
     {
       std::lock_guard lock(mu_);
@@ -214,6 +244,7 @@ void run_tasks(std::size_t count, std::size_t threads, Schedule schedule,
       });
     }
     for (auto& worker : workers) worker.join();
+    PoolMetrics::get().steals.inc(queue.stolen());
   }
   batch.wait();
 }
@@ -249,6 +280,7 @@ void run_tasks(ThreadPool& pool, std::size_t count, Schedule schedule,
     });
   }
   batch.wait();
+  PoolMetrics::get().steals.inc(queue.stolen());
 }
 
 }  // namespace scoris::util

@@ -640,9 +640,56 @@ TEST_F(CliTest, ServeUsageErrorsExitTwo) {
                      "--max-clients", "0"})
                 .exit_code,
             kUsage);
+  // --log-level takes the lowercase level names only.
+  EXPECT_EQ(run_cli({"serve", "--index", bank1_, "--listen", "unix:/t.sock",
+                     "--log-level", "chatty"})
+                .exit_code,
+            kUsage);
   const CliResult help = run_cli({"serve", "--help"});
   EXPECT_EQ(help.exit_code, kOk);
   EXPECT_NE(help.out.find("--listen"), std::string::npos);
+  EXPECT_NE(help.out.find("--log-level"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsUsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli({"stats"}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"stats", "--connect", "badspec"}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"stats", "--connect", "unix:/t.sock", "--bogus", "1"})
+                .exit_code,
+            kUsage);
+  const CliResult help = run_cli({"stats", "--help"});
+  EXPECT_EQ(help.exit_code, kOk);
+  EXPECT_NE(help.out.find("--connect"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsAgainstNoServerExitsOne) {
+  const CliResult r = run_cli(
+      {"stats", "--connect", "unix:" + dir_ + "no-such-daemon.sock"});
+  EXPECT_EQ(r.exit_code, kRuntimeError);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceJsonWritesChromeTraceEvents) {
+  const std::string trace_path = dir_ + "CliTest_trace.json";
+  const CliResult r = run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                               "--strand", "both", "--trace-json",
+                               trace_path});
+  ASSERT_EQ(r.exit_code, kOk);
+  std::ifstream is(trace_path);
+  ASSERT_TRUE(is) << "trace file was not written";
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  for (const char* span : {"\"index\"", "\"scan\"", "\"gapped\""}) {
+    EXPECT_NE(json.find(span), std::string::npos)
+        << "missing span " << span;
+  }
+  // --strand both runs two groups (sequential ids, signed by strand);
+  // both appear as args.group labels.
+  EXPECT_NE(json.find("g0+"), std::string::npos);
+  EXPECT_NE(json.find("g1-"), std::string::npos);
+  std::remove(trace_path.c_str());
 }
 
 TEST_F(CliTest, QueryUsageErrorsExitTwo) {
@@ -696,6 +743,13 @@ TEST_F(CliTest, ServeAndQueryEndToEndOverUnixSocket) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 
+  // While the daemon is still alive, scrape its metrics: the snapshot
+  // must be Prometheus text carrying the served-query count.
+  CliResult stats;
+  if (ready) {
+    stats = run_cli({"stats", "--connect", "unix:" + sock});
+  }
+
   // SIGTERM (the deployment signal) drains and exits 0.  Raised only
   // while the serve loop is alive — its handler is installed, so the
   // default terminate-the-process action cannot fire.
@@ -712,6 +766,11 @@ TEST_F(CliTest, ServeAndQueryEndToEndOverUnixSocket) {
   EXPECT_EQ(serve_result.exit_code, kOk);
   EXPECT_NE(serve_result.err.find("listening on unix:"), std::string::npos);
   EXPECT_NE(serve_result.err.find("shut down"), std::string::npos);
+  EXPECT_EQ(stats.exit_code, kOk) << stats.err;
+  EXPECT_NE(stats.out.find("# TYPE scorisd_queries_completed_total counter"),
+            std::string::npos);
+  // --stats on the query printed the server-side seconds from DONE v2.
+  EXPECT_NE(query.err.find("server "), std::string::npos);
   std::remove(sock.c_str());
 }
 

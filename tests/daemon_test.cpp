@@ -357,5 +357,70 @@ TEST(Daemon, StopWithIdleConnectedClientStillReturns) {
   SUCCEED();
 }
 
+/// First sample value of `name` in a Prometheus text snapshot, or -1.
+std::int64_t metric_value(const std::string& text, const std::string& name) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name + ' ', 0) == 0) {
+      return std::stoll(line.substr(name.size() + 1));
+    }
+  }
+  return -1;
+}
+
+TEST(Daemon, DoneFrameCarriesServerSeconds) {
+  DaemonFixture daemon;
+  net::QueryClient client =
+      net::QueryClient::connect(daemon.server().endpoint());
+  std::string rows;
+  const net::QueryResult result = client.query(
+      daemon.fasta(), net::QueryStrand::kDefault,
+      [&rows](std::string_view chunk) { rows += chunk; });
+  ASSERT_TRUE(result.ok) << result.error;
+  // A v2 server always reports its wall time; -1 would mean the client
+  // fell back to the v1 DONE layout.
+  EXPECT_GE(result.server_seconds, 0.0);
+  EXPECT_LT(result.server_seconds, 300.0);
+}
+
+TEST(Daemon, StatSnapshotReflectsQueriesAndBusyRefusals) {
+  daemon::ServerConfig config;
+  config.max_clients = 1;
+  DaemonFixture daemon(config);
+
+  // The metrics registry is process-global and other tests in this
+  // binary also drive daemons, so assert on deltas, not absolutes.
+  net::QueryClient probe =
+      net::QueryClient::connect(daemon.server().endpoint());
+  const std::string before = probe.stats();
+  const std::int64_t completed_before =
+      metric_value(before, "scorisd_queries_completed_total");
+  const std::int64_t busy_before =
+      metric_value(before, "scorisd_busy_refusals_total");
+  ASSERT_GE(completed_before, 0);
+  ASSERT_GE(busy_before, 0);
+  // The probe connection holds the only slot: a second connect is BUSY.
+  EXPECT_THROW((void)net::QueryClient::connect(daemon.server().endpoint()),
+               net::NetError);
+
+  std::string rows;
+  const net::QueryResult result = probe.query(
+      daemon.fasta(), net::QueryStrand::kDefault,
+      [&rows](std::string_view chunk) { rows += chunk; });
+  ASSERT_TRUE(result.ok) << result.error;
+
+  const std::string after = probe.stats();
+  EXPECT_EQ(metric_value(after, "scorisd_queries_completed_total"),
+            completed_before + 1);
+  EXPECT_EQ(metric_value(after, "scorisd_busy_refusals_total"),
+            busy_before + 1);
+  EXPECT_GE(metric_value(after, "scorisd_active_connections"), 1);
+  // The histogram observed the query; exposition carries TYPE lines.
+  EXPECT_NE(after.find("# TYPE scorisd_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_GE(metric_value(after, "scorisd_query_seconds_count"), 1);
+}
+
 }  // namespace
 }  // namespace scoris

@@ -166,6 +166,50 @@ TEST(Payload, ScalarsRoundTripLittleEndian) {
   EXPECT_EQ(reader.rest(), ">q\n");
 }
 
+TEST(Payload, F64RoundTripsAndRemainingCountsDown) {
+  PayloadWriter writer;
+  writer.put_u64(42);
+  writer.put_f64(0.125);
+  writer.put_f64(-1e300);
+  const std::vector<std::uint8_t> bytes = writer.take();
+  PayloadReader reader(bytes, "test");
+  EXPECT_EQ(reader.remaining(), 24u);
+  EXPECT_EQ(reader.get_u64(), 42u);
+  // remaining() is how a v2 client detects the optional trailing
+  // server-seconds field in DONE without breaking v1 framing.
+  EXPECT_EQ(reader.remaining(), 16u);
+  EXPECT_EQ(reader.get_f64(), 0.125);
+  EXPECT_EQ(reader.get_f64(), -1e300);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Client, OldServerVersionWithinRangeIsAccepted) {
+  // A v1 HELO (the pre-STAT protocol) must still connect: the client
+  // accepts [kMinProtocolVersion, kProtocolVersion] and only gates the
+  // v2-only STAT request on the negotiated version.
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = "127.0.0.1";
+  ep.port = 0;
+  Socket listener = listen_endpoint(ep, 4);
+  ASSERT_GT(ep.port, 0);
+
+  std::thread server([&listener] {
+    Socket conn = accept_connection(listener);
+    ASSERT_TRUE(conn.valid());
+    PayloadWriter hello;
+    hello.put_u32(kMinProtocolVersion);
+    hello.put_u64(1024);
+    const std::vector<std::uint8_t> payload = hello.take();
+    write_frame(conn, kHelloTag, payload);
+  });
+  QueryClient client = QueryClient::connect(ep);
+  server.join();
+  EXPECT_EQ(client.version(), kMinProtocolVersion);
+  // STAT needs v2; against a v1 server the client refuses locally.
+  EXPECT_THROW((void)client.stats(), NetError);
+}
+
 TEST(Payload, ReaderThrowsPastTheEnd) {
   PayloadWriter writer;
   writer.put_u32(7);
