@@ -3,9 +3,11 @@
 // ungapped extension, gapped extension, DUST, Karlin solving, m8 I/O.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "align/gapped.hpp"
+#include "align/simd/kernel_dispatch.hpp"
 #include "align/ungapped.hpp"
 #include "compare/m8.hpp"
 #include "align/greedy.hpp"
@@ -77,6 +79,99 @@ void BM_UngappedExtensionPlain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UngappedExtensionPlain);
+
+// --- match-run kernels, one benchmark per instruction set -------------------
+// Arg(0..2) = scalar / sse4.1 / avx2 on in-frame sequences with ~3%
+// substitutions (no indels, which would break the frame): the realistic
+// mix of long match runs and isolated mismatches the step-2 extension
+// walks over.  Unsupported kernels skip.
+
+simulate::MutationModel subs_only(double rate) {
+  simulate::MutationModel m;
+  m.sub_rate = rate;
+  m.ins_rate = 0.0;
+  m.del_rate = 0.0;
+  return m;
+}
+
+void BM_MatchRunKernel(benchmark::State& state) {
+  const auto kind = static_cast<align::simd::Kernel>(state.range(0));
+  if (!align::simd::cpu_supports(kind)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return;
+  }
+  const auto& ops = align::simd::kernel(kind);
+  simulate::Rng rng(21);
+  const auto a = simulate::random_codes(rng, 1 << 16);
+  const auto b = simulate::mutate(rng, a, subs_only(0.03));
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t pos = 0;
+  std::size_t walked = 0;
+  for (auto _ : state) {
+    const std::size_t run =
+        ops.match_run_fwd(a.data() + pos, b.data() + pos, n - pos);
+    benchmark::DoNotOptimize(run);
+    walked += run + 1;
+    pos += run + 1;  // step over the mismatch, like the extension loop
+    if (pos >= n) pos = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(walked));
+  state.SetLabel(ops.name);
+}
+BENCHMARK(BM_MatchRunKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MatchRunKernelBwd(benchmark::State& state) {
+  const auto kind = static_cast<align::simd::Kernel>(state.range(0));
+  if (!align::simd::cpu_supports(kind)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return;
+  }
+  const auto& ops = align::simd::kernel(kind);
+  simulate::Rng rng(23);
+  const auto a = simulate::random_codes(rng, 1 << 16);
+  const auto b = simulate::mutate(rng, a, subs_only(0.03));
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t pos = n;
+  std::size_t walked = 0;
+  for (auto _ : state) {
+    const std::size_t run = ops.match_run_bwd(a.data() + pos, b.data() + pos, pos);
+    benchmark::DoNotOptimize(run);
+    walked += run + 1;
+    pos = pos > run ? pos - run - 1 : n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(walked));
+  state.SetLabel(ops.name);
+}
+BENCHMARK(BM_MatchRunKernelBwd)->Arg(0)->Arg(1)->Arg(2);
+
+// Whole-scan A/B: the full step-2 seed scan with a pinned kernel, so the
+// end-to-end effect of the SIMD path (kernels + CSR occurrence lists +
+// prefetch) is visible in one number.
+void BM_SeedScanKernel(benchmark::State& state) {
+  const auto kind = static_cast<align::simd::Kernel>(state.range(0));
+  if (!align::simd::cpu_supports(kind)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return;
+  }
+  simulate::Rng rng(25);
+  seqio::SequenceBank b1, b2;
+  const auto base = simulate::random_codes(rng, 60000);
+  b1.add_codes("s", base);
+  b2.add_codes(
+      "s", simulate::mutate(rng, base,
+                            simulate::MutationModel::with_divergence(0.05)));
+  const index::SeedCoder coder(11);
+  const index::BankIndex i1(b1, coder), i2(b2, coder);
+  core::SeedScanParams params;
+  params.kernel = &align::simd::kernel(kind);
+  for (auto _ : state) {
+    core::SeedScanResult r;
+    core::scan_seed_range(i1, i2, params, 0, coder.num_seeds(), r);
+    benchmark::DoNotOptimize(r.hsps.size());
+  }
+  state.SetLabel(params.kernel->name);
+}
+BENCHMARK(BM_SeedScanKernel)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_OrderedExtension(benchmark::State& state) {
   simulate::Rng rng(7);

@@ -1,0 +1,59 @@
+// AVX2 match-run kernels: 32 characters per iteration.
+//
+// Compiled with -mavx2 (see CMakeLists.txt); reached only through the
+// runtime dispatcher after a CPU-support check.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "align/simd/kernels.hpp"
+
+namespace scoris::align::simd {
+
+using seqio::Code;
+
+namespace {
+
+/// 32-bit mask with bit j set when lane j is NOT a match.
+inline std::uint32_t mismatch_mask32(const Code* a, const Code* b) {
+  const __m256i va =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i eq = _mm256_cmpeq_epi8(va, vb);
+  const __m256i base = _mm256_cmpeq_epi8(
+      _mm256_subs_epu8(va, _mm256_set1_epi8(3)), _mm256_setzero_si256());
+  const auto match = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_and_si256(eq, base)));
+  return ~match;
+}
+
+}  // namespace
+
+std::size_t match_run_fwd_avx2(const Code* a, const Code* b,
+                               std::size_t max) {
+  std::size_t i = 0;
+  while (i + 32 <= max) {
+    const std::uint32_t mm = mismatch_mask32(a + i, b + i);
+    if (mm != 0) return i + static_cast<std::size_t>(__builtin_ctz(mm));
+    i += 32;
+  }
+  return i + match_run_fwd_scalar(a + i, b + i, max - i);
+}
+
+std::size_t match_run_bwd_avx2(const Code* a, const Code* b,
+                               std::size_t max) {
+  std::size_t i = 0;
+  while (i + 32 <= max) {
+    const std::uint32_t mm = mismatch_mask32(a - i - 32, b - i - 32);
+    // Lane 31 is the character closest to the cursor; count leading
+    // zeros of the mismatch mask for the backward run length.
+    if (mm != 0) return i + static_cast<std::size_t>(__builtin_clz(mm));
+    i += 32;
+  }
+  return i + match_run_bwd_scalar(a - i, b - i, max - i);
+}
+
+}  // namespace scoris::align::simd
+
+#endif  // x86

@@ -1,0 +1,25 @@
+#include "align/simd/kernels.hpp"
+
+namespace scoris::align::simd {
+
+using seqio::Code;
+
+std::size_t match_run_fwd_scalar(const Code* a, const Code* b,
+                                 std::size_t max) {
+  std::size_t i = 0;
+  while (i < max && a[i] == b[i] && seqio::is_base(a[i])) ++i;
+  return i;
+}
+
+std::size_t match_run_bwd_scalar(const Code* a, const Code* b,
+                                 std::size_t max) {
+  std::size_t i = 0;
+  while (i < max && a[-1 - static_cast<std::ptrdiff_t>(i)] ==
+                        b[-1 - static_cast<std::ptrdiff_t>(i)] &&
+         seqio::is_base(a[-1 - static_cast<std::ptrdiff_t>(i)])) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace scoris::align::simd

@@ -1,0 +1,66 @@
+// SSE4.1 match-run kernels: 16 characters per iteration.
+//
+// This translation unit is compiled with -msse4.1 (see CMakeLists.txt);
+// nothing outside src/align/simd/ may assume the flag.  Callers reach
+// these functions only through the runtime dispatcher, which verifies
+// CPU support first.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <smmintrin.h>
+
+#include "align/simd/kernels.hpp"
+
+namespace scoris::align::simd {
+
+using seqio::Code;
+
+namespace {
+
+/// 16-bit mask with bit j set when lane j is NOT a match (unequal bytes,
+/// or an equal pair that is not a concrete base).
+inline unsigned mismatch_mask16(const Code* a, const Code* b) {
+  const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+  const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const __m128i eq = _mm_cmpeq_epi8(va, vb);
+  // a <= 3 unsigned <=> saturating a - 3 == 0; sentinels (0xFF) and
+  // ambiguity codes (0xFE) fail this lane test even when equal.
+  const __m128i base = _mm_cmpeq_epi8(_mm_subs_epu8(va, _mm_set1_epi8(3)),
+                                      _mm_setzero_si128());
+  const unsigned match =
+      static_cast<unsigned>(_mm_movemask_epi8(_mm_and_si128(eq, base)));
+  return match ^ 0xFFFFu;
+}
+
+}  // namespace
+
+std::size_t match_run_fwd_sse41(const Code* a, const Code* b,
+                                std::size_t max) {
+  std::size_t i = 0;
+  while (i + 16 <= max) {
+    const unsigned mm = mismatch_mask16(a + i, b + i);
+    // Lane j holds a[i + j]; the first mismatch is the lowest set bit.
+    if (mm != 0) return i + static_cast<std::size_t>(__builtin_ctz(mm));
+    i += 16;
+  }
+  return i + match_run_fwd_scalar(a + i, b + i, max - i);
+}
+
+std::size_t match_run_bwd_sse41(const Code* a, const Code* b,
+                                std::size_t max) {
+  std::size_t i = 0;
+  while (i + 16 <= max) {
+    const unsigned mm = mismatch_mask16(a - i - 16, b - i - 16);
+    // Lane 15 holds a[-1-i], lane 14 holds a[-2-i], ...: the first
+    // mismatch walking backwards is the highest set bit, so the run
+    // length is the number of leading zero bits of the 16-bit mask.
+    if (mm != 0) {
+      return i + static_cast<std::size_t>(__builtin_clz(mm)) - 16u;
+    }
+    i += 16;
+  }
+  return i + match_run_bwd_scalar(a - i, b - i, max - i);
+}
+
+}  // namespace scoris::align::simd
+
+#endif  // x86

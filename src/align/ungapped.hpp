@@ -6,12 +6,23 @@
 // exact seed match and grows left then right, remembering the best score; it
 // stops when the running score falls `xdrop_ungapped` below the best, or at
 // a sequence boundary (kSentinel).
+//
+// The character walk is built on the SIMD match-run kernels (align/simd/):
+// identical concrete bases are consumed 16/32 at a time and the scalar
+// scoring state advances once per match-run boundary.  Because the score is
+// monotone within a run (every character adds +match), folding a whole run
+// into one update reproduces the per-character loop exactly — the x-drop
+// condition can only trip right after a mismatch, and the best score within
+// a run is always at its end.  Every entry point takes the kernel to use;
+// the overloads without one use the runtime-dispatched best
+// (simd::dispatch()), so existing callers are unchanged.
 #pragma once
 
 #include <span>
 
 #include "align/records.hpp"
 #include "align/scoring.hpp"
+#include "align/simd/kernel_dispatch.hpp"
 #include "seqio/nucleotide.hpp"
 
 namespace scoris::align {
@@ -20,6 +31,11 @@ namespace scoris::align {
 /// directions without gaps.  Returns the maximal-scoring HSP containing the
 /// seed.  The caller guarantees the seed characters match and are concrete
 /// bases; positions are global bank positions.
+[[nodiscard]] Hsp extend_ungapped(std::span<const seqio::Code> seq1,
+                                  std::span<const seqio::Code> seq2,
+                                  seqio::Pos p1, seqio::Pos p2, int w,
+                                  const ScoringParams& params,
+                                  const simd::KernelOps& ops);
 [[nodiscard]] Hsp extend_ungapped(std::span<const seqio::Code> seq1,
                                   std::span<const seqio::Code> seq2,
                                   seqio::Pos p1, seqio::Pos p2, int w,
@@ -35,8 +51,16 @@ struct SideExtension {
 
 [[nodiscard]] SideExtension extend_left_plain(
     std::span<const seqio::Code> seq1, std::span<const seqio::Code> seq2,
+    seqio::Pos p1, seqio::Pos p2, const ScoringParams& params,
+    const simd::KernelOps& ops);
+[[nodiscard]] SideExtension extend_left_plain(
+    std::span<const seqio::Code> seq1, std::span<const seqio::Code> seq2,
     seqio::Pos p1, seqio::Pos p2, const ScoringParams& params);
 
+[[nodiscard]] SideExtension extend_right_plain(
+    std::span<const seqio::Code> seq1, std::span<const seqio::Code> seq2,
+    seqio::Pos p1, seqio::Pos p2, const ScoringParams& params,
+    const simd::KernelOps& ops);
 [[nodiscard]] SideExtension extend_right_plain(
     std::span<const seqio::Code> seq1, std::span<const seqio::Code> seq2,
     seqio::Pos p1, seqio::Pos p2, const ScoringParams& params);

@@ -15,6 +15,7 @@
 #include <csignal>
 #include <sstream>
 
+#include "align/simd/kernel_dispatch.hpp"
 #include "api/session.hpp"
 #include "api/sinks.hpp"
 #include "core/options.hpp"
@@ -44,7 +45,7 @@ const std::vector<std::string>& known_flags() {
       "strand",  "evalue",     "dust",  "no-dust", "asymmetric",
       "s1",      "stats",      "help",  "version", "shards",
       "schedule", "memory-budget-mb", "delivery-budget-kb", "tmp-dir",
-      "trace-json",
+      "trace-json", "force-scalar", "kernel",
   };
   return kKnown;
 }
@@ -56,7 +57,7 @@ const std::vector<std::string>& known_search_flags() {
       "no-dust", "asymmetric", "s1",  "stats",
       "memory-budget-mb", "help",     "shards",
       "schedule", "delivery-budget-kb", "tmp-dir",
-      "trace-json",
+      "trace-json", "force-scalar",
   };
   return kKnown;
 }
@@ -193,6 +194,7 @@ bool build_options(const CliConfig& config, core::Options& options,
   options.max_evalue = config.max_evalue;
   options.dust = config.dust;
   options.asymmetric = config.asymmetric;
+  options.force_scalar_kernel = config.force_scalar;
   options.delivery_budget_bytes = config.delivery_budget_kb << 10;
   options.tmp_dir = config.tmp_dir;
 
@@ -254,6 +256,7 @@ bool parse_search_options(const util::Args& args, CliConfig& config,
   config.dust = args.get_flag("dust", true);
   if (args.get_flag("no-dust")) config.dust = false;
   config.asymmetric = args.get_flag("asymmetric");
+  config.force_scalar = args.get_flag("force-scalar");
   config.stats = args.get_flag("stats");
 
   return build_options(config, config.options, err);
@@ -265,8 +268,8 @@ void print_stats(std::ostream& err, const core::PipelineStats& s,
       << " seed hits (" << s.order_aborts << " order-aborted), " << s.hsps
       << " HSPs, " << s.masked_bases << " DUST-masked bases\n"
       << "  step1 " << s.index_seconds << "s, step2 " << s.hsp_seconds
-      << "s, step3 " << s.gapped_seconds << "s, total " << s.total_seconds
-      << "s\n";
+      << "s (kernel " << s.simd_kernel << "), step3 " << s.gapped_seconds
+      << "s, total " << s.total_seconds << "s\n";
   // Index memory accounting (paper section 3.1: ~5 bytes per position =
   // 4-byte chain entry + 1-byte SEQ code; dictionaries are O(4^W) apart).
   const double per_pos =
@@ -727,7 +730,12 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "                  the system temp directory)\n"
      << "  --trace-json FILE   write per-stage spans (index/scan/gapped/\n"
      << "                  merge) as Chrome trace_event JSON to FILE\n"
+     << "  --force-scalar  pin step 2 to the scalar match-run kernel\n"
+     << "                  instead of the best SIMD one (output-invariant;\n"
+     << "                  for A/B timing)\n"
      << "  --stats         print per-step statistics to stderr\n"
+     << "  --kernel        print the match-run kernel this machine\n"
+     << "                  dispatches to (scalar/sse4.1/avx2) and exit\n"
      << "  --help          show this message and exit\n"
      << "  --version       show version and exit\n";
 }
@@ -786,6 +794,9 @@ void print_search_usage(std::ostream& os, const std::string& program) {
      << "                  the system temp directory)\n"
      << "  --trace-json FILE   write per-stage spans (index/scan/gapped/\n"
      << "                  merge) as Chrome trace_event JSON to FILE\n"
+     << "  --force-scalar  pin step 2 to the scalar match-run kernel\n"
+     << "                  instead of the best SIMD one (output-invariant;\n"
+     << "                  for A/B timing)\n"
      << "  --stats         print per-step statistics to stderr\n"
      << "  --help          show this message and exit\n";
 }
@@ -860,14 +871,15 @@ bool parse_cli(int argc, const char* const* argv, CliConfig& config,
 
   if (!reject_unknown_flags(args, known_flags(), err)) return false;
 
-  for (const char* name : {"stats", "asymmetric", "dust", "no-dust", "help",
-                           "version"}) {
+  for (const char* name : {"stats", "asymmetric", "dust", "no-dust",
+                           "force-scalar", "kernel", "help", "version"}) {
     if (!check_boolean_flag(args, name, err)) return false;
   }
 
   config.help = args.get_flag("help");
   config.version = args.get_flag("version");
-  if (config.help || config.version) return true;
+  config.kernel_probe = args.get_flag("kernel");
+  if (config.help || config.version || config.kernel_probe) return true;
 
   config.bank1_path = args.get("bank1");
   config.bank2_path = args.get("bank2");
@@ -899,7 +911,8 @@ bool parse_search_cli(int argc, const char* const* argv, CliConfig& config,
   const util::Args args = util::Args::parse(argc, argv);
 
   if (!reject_unknown_flags(args, known_search_flags(), err)) return false;
-  for (const char* name : {"stats", "asymmetric", "dust", "no-dust", "help"}) {
+  for (const char* name : {"stats", "asymmetric", "dust", "no-dust",
+                           "force-scalar", "help"}) {
     if (!check_boolean_flag(args, name, err)) return false;
   }
 
@@ -1172,6 +1185,12 @@ int run(int argc, const char* const* argv, std::ostream& out,
   }
   if (config.version) {
     out << kVersion << '\n';
+    return kOk;
+  }
+  if (config.kernel_probe) {
+    // What a run on this machine would use: the best supported kernel,
+    // demoted to scalar when SCORIS_FORCE_SCALAR is set.
+    out << align::simd::dispatch().name << '\n';
     return kOk;
   }
   return run_compare(config, out, err);

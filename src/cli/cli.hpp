@@ -49,9 +49,14 @@ struct CliConfig {
   std::string strand = "plus";  ///< plus | minus | both
   bool dust = true;
   bool asymmetric = false;
+  /// Pin step 2 to the scalar match-run kernel (Options::
+  /// force_scalar_kernel); output-invariant, for A/B timing and CI.
+  bool force_scalar = false;
   bool stats = false;
   bool help = false;
   bool version = false;
+  /// --kernel: print the dispatched match-run kernel name and exit.
+  bool kernel_probe = false;
   /// When > 0, stream bank2 in slices so the two in-memory indexes stay
   /// under this budget (SearchLimits::memory_budget_bytes); available on
   /// both the flat compare form and `search`.

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <utility>
 
+#include "align/simd/kernel_dispatch.hpp"
 #include "core/chunked.hpp"
 #include "core/exec/run_merge.hpp"
 #include "core/ordered_extend.hpp"
@@ -25,6 +26,7 @@ namespace {
 struct EngineMetrics {
   obs::Counter& shards;
   obs::Counter& groups;
+  obs::Gauge& simd_kernel;
 
   static EngineMetrics& get() {
     static EngineMetrics* m = [] {
@@ -34,6 +36,9 @@ struct EngineMetrics {
                     "Step-2 seed-scan shards executed"),
           r.counter("scoris_exec_groups_total",
                     "(strand x slice) plan groups executed"),
+          r.gauge("scoris_simd_kernel_level",
+                  "Match-run kernel of the last run "
+                  "(0=scalar, 1=sse4.1, 2=avx2)"),
       };
     }();
     return *m;
@@ -141,6 +146,12 @@ ExecSummary execute(const ExecRequest& request, HitSink& sink) {
   scan_params.scoring = options.scoring;
   scan_params.min_hsp_score = options.min_hsp_score;
   scan_params.enforce_order = options.enforce_order;
+  const align::simd::KernelOps& kernel_ops =
+      align::simd::select(options.force_scalar_kernel);
+  scan_params.kernel = &kernel_ops;
+  st.simd_kernel = kernel_ops.name;
+  EngineMetrics::get().simd_kernel.set(
+      static_cast<std::int64_t>(kernel_ops.kind));
 
   ShardStatsReducer reducer(plan.shards.size());
   std::size_t peak_idx2_bytes = 0;

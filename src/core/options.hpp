@@ -80,6 +80,13 @@ struct Options {
   /// Directory for spill-run temp files; empty = the system temp
   /// directory.  Files are removed when the merge finishes.
   std::string tmp_dir;
+  /// Pin the step-2 extension walks to the scalar match-run kernel
+  /// instead of the runtime-dispatched SIMD one (align/simd/).  The m8
+  /// output is invariant under this knob — it exists for A/B timing and
+  /// for the CI determinism matrix's forced-scalar leg.  The
+  /// SCORIS_FORCE_SCALAR environment variable forces scalar globally
+  /// regardless of this field.
+  bool force_scalar_kernel = false;
 
   /// Effective word length (asymmetric mode drops to 10-nt).
   [[nodiscard]] int effective_w() const { return asymmetric ? 10 : w; }

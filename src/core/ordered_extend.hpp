@@ -29,6 +29,7 @@
 
 #include "align/records.hpp"
 #include "align/scoring.hpp"
+#include "align/simd/kernel_dispatch.hpp"
 #include "index/bank_index.hpp"
 
 namespace scoris::core {
@@ -43,7 +44,14 @@ struct OrderedExtendOutcome {
 /// Ordered two-sided ungapped extension of the exact seed match
 /// idx1.bank()[p1, p1+W) == idx2.bank()[p2, p2+W).
 /// `anchor` must be the seed code at p1/p2 (the enumeration loop already
-/// has it, so it is passed instead of recomputed).
+/// has it, so it is passed instead of recomputed).  `ops` selects the
+/// match-run kernel used to consume identical-base stretches; the scalar
+/// order-rule walk over each run is identical for every kernel, so the
+/// outcome — HSP bounds, score, and abort decisions — is kernel-invariant.
+[[nodiscard]] OrderedExtendOutcome extend_ordered(
+    const index::BankIndex& idx1, const index::BankIndex& idx2,
+    seqio::Pos p1, seqio::Pos p2, index::SeedCode anchor,
+    const align::ScoringParams& params, const align::simd::KernelOps& ops);
 [[nodiscard]] OrderedExtendOutcome extend_ordered(
     const index::BankIndex& idx1, const index::BankIndex& idx2,
     seqio::Pos p1, seqio::Pos p2, index::SeedCode anchor,
@@ -61,6 +69,9 @@ struct SeedScanParams {
   align::ScoringParams scoring;
   int min_hsp_score = 25;     ///< S1 threshold for keeping HSPs
   bool enforce_order = true;  ///< false = A1 ablation (plain extension)
+  /// Match-run kernel for the extension walks; nullptr = runtime-dispatched
+  /// best (align::simd::dispatch()).  Output is kernel-invariant.
+  const align::simd::KernelOps* kernel = nullptr;
 };
 
 /// One worker's step-2 output over a seed-code range.  Because the order

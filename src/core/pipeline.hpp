@@ -62,6 +62,10 @@ struct PipelineStats {
   std::size_t index_chain_bytes = 0;  ///< chain bytes, both indexes
   std::size_t index_positions = 0;    ///< bank positions covered by chains
   std::size_t masked_bases = 0;     ///< DUST-masked positions, both banks
+  /// Match-run kernel the step-2 extensions ran with ("scalar", "sse4.1",
+  /// "avx2") — the dispatcher's pick, or scalar when forced by the
+  /// Options knob / SCORIS_FORCE_SCALAR.
+  const char* simd_kernel = "scalar";
   GappedStageStats gapped;
   std::size_t alignments = 0;
   // Delivery-path accounting (the sink-facing side of the engine).  The

@@ -35,7 +35,10 @@ BankIndex::BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
   next_ = next_storage_;
   indexed_ = filter::MaskBitmap(n);
   if (options.mask != nullptr) masked_bases_ = options.mask->count();
-  if (n < static_cast<std::size_t>(w)) return;
+  if (n < static_cast<std::size_t>(w)) {
+    build_occurrence_lists();  // all-empty lists, but valid offsets
+    return;
+  }
 
   // Walk sequences (and positions within them) from last to first so the
   // chains come out in ascending position order.  `run` counts consecutive
@@ -76,6 +79,26 @@ BankIndex::BankIndex(const seqio::SequenceBank& bank, const SeedCoder& coder,
       ++total_indexed_;
     }
   }
+  build_occurrence_lists();
+}
+
+void BankIndex::build_occurrence_lists() {
+  const std::size_t codes = first_.size();
+  occ_offsets_storage_.resize(codes + 1);
+  occ_positions_storage_.clear();
+  occ_positions_storage_.reserve(total_indexed_);
+  for (std::size_t code = 0; code < codes; ++code) {
+    occ_offsets_storage_[code] =
+        static_cast<std::uint32_t>(occ_positions_storage_.size());
+    for (std::int32_t p = first_[code]; p >= 0;
+         p = next_[static_cast<std::size_t>(p)]) {
+      occ_positions_storage_.push_back(p);
+    }
+  }
+  occ_offsets_storage_[codes] =
+      static_cast<std::uint32_t>(occ_positions_storage_.size());
+  occ_offsets_ = occ_offsets_storage_;
+  occ_positions_ = occ_positions_storage_;
 }
 
 BankIndex BankIndex::adopt(const seqio::SequenceBank& bank,
@@ -89,6 +112,15 @@ BankIndex BankIndex::adopt(const seqio::SequenceBank& bank,
   if (parts.indexed.size() != bank.data_size()) {
     throw std::invalid_argument("BankIndex::adopt: bitmap size mismatch");
   }
+  const bool has_lists = !parts.occ_offsets.empty();
+  if (has_lists && parts.occ_offsets.size() != coder.num_seeds() + 1) {
+    throw std::invalid_argument(
+        "BankIndex::adopt: occurrence offsets size mismatch");
+  }
+  if (has_lists && parts.occ_positions.size() != parts.total_indexed) {
+    throw std::invalid_argument(
+        "BankIndex::adopt: occurrence positions size mismatch");
+  }
   BankIndex idx(bank, coder, /*adopt_tag=*/0);
   idx.owner_ = std::move(parts.owner);
   idx.first_ = parts.first;
@@ -97,16 +129,15 @@ BankIndex BankIndex::adopt(const seqio::SequenceBank& bank,
   idx.total_indexed_ = parts.total_indexed;
   idx.distinct_seeds_ = parts.distinct_seeds;
   idx.masked_bases_ = parts.masked_bases;
-  return idx;
-}
-
-std::size_t BankIndex::occurrence_count(SeedCode code) const {
-  std::size_t n = 0;
-  for (std::int32_t p = first_[code]; p >= 0;
-       p = next_[static_cast<std::size_t>(p)]) {
-    ++n;
+  if (has_lists) {
+    idx.occ_offsets_ = parts.occ_offsets;
+    idx.occ_positions_ = parts.occ_positions;
+  } else {
+    // Artifact predates serialized occurrence lists: flatten the adopted
+    // chains once, now, instead of chasing them on every scan.
+    idx.build_occurrence_lists();
   }
-  return n;
+  return idx;
 }
 
 std::vector<std::size_t> BankIndex::occupancy_histogram(
@@ -116,8 +147,7 @@ std::vector<std::size_t> BankIndex::occupancy_histogram(
   std::vector<std::size_t> hist(buckets, 0);
   const std::size_t per = (codes + buckets - 1) / buckets;
   for (std::size_t code = 0; code < codes; ++code) {
-    if (first_[code] < 0) continue;
-    hist[code / per] += occurrence_count(static_cast<SeedCode>(code));
+    hist[code / per] += occ_offsets_[code + 1] - occ_offsets_[code];
   }
   return hist;
 }
@@ -138,6 +168,10 @@ void BankIndex::save_body(store::SectionWriter& section) const {
   section.put_array(next_);
   section.put_array(std::span<const std::uint64_t>(indexed_.words()));
   section.put_u64(indexed_.size());
+  // Optional trailing fields (readers written before these existed stop at
+  // the bitmap size and ignore the rest; load_body probes remaining()).
+  section.put_array(occ_offsets_);
+  section.put_array(occ_positions_);
 }
 
 BankIndex BankIndex::load_body(store::SectionReader& section,
@@ -156,6 +190,12 @@ BankIndex BankIndex::load_body(store::SectionReader& section,
   const std::uint64_t bit_size = section.read_u64();
   parts.indexed = filter::MaskBitmap::from_words(
       std::move(words), static_cast<std::size_t>(bit_size));
+  if (section.remaining() > 0) {
+    // Flattened occurrence lists ride as optional trailing fields; older
+    // artifacts end here and adopt() rebuilds the lists from the chains.
+    parts.occ_offsets = section.read_array_view<std::uint32_t>();
+    parts.occ_positions = section.read_array_view<std::int32_t>();
+  }
   parts.owner = section.payload_owner();
   try {
     return adopt(bank, coder, std::move(parts));

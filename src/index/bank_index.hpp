@@ -16,6 +16,15 @@
 // buffers (built by the constructor) or *adopts* externally owned ones
 // (deserialized from a .scix store, or — later — a 2-bit-packed chain
 // experiment) without copying or re-scanning the bank.
+//
+// Alongside the paper's chains the index keeps *flattened occurrence
+// lists* in CSR layout (offsets + positions): the step-2 scan walks
+// occurrences of a seed as one contiguous int32 slice instead of chasing
+// `next` pointers across the whole INDEX array, occurrence counts become
+// O(1) offset subtractions, and the scan can prefetch and pre-size from
+// exact per-code counts.  The lists ride the same adopt() seam — newly
+// written artifacts serialize them (optional trailing payload fields, see
+// save_body), older artifacts fall back to a one-pass reconstruction.
 #pragma once
 
 #include <cstdint>
@@ -53,7 +62,15 @@ struct AdoptedIndex {
   std::size_t total_indexed = 0;
   std::size_t distinct_seeds = 0;
   std::size_t masked_bases = 0;  ///< mask popcount at build time
-  std::shared_ptr<const void> owner;  ///< keep-alive for first/next
+  /// Optional flattened occurrence lists (CSR layout, see
+  /// BankIndex::occurrences_span).  When empty — e.g. loading an artifact
+  /// written before the lists were serialized — adopt() reconstructs them
+  /// from the chains in one pass; when present they must be consistent
+  /// with `first`/`next` (sizes are validated, contents trusted like the
+  /// other adopted buffers — the store's CRC guards the bytes).
+  std::span<const std::uint32_t> occ_offsets;  ///< 4^W + 1 entries
+  std::span<const std::int32_t> occ_positions;  ///< total_indexed entries
+  std::shared_ptr<const void> owner;  ///< keep-alive for the spans above
 };
 
 class BankIndex {
@@ -99,23 +116,38 @@ class BankIndex {
     return indexed_.test(pos);
   }
 
+  /// All occurrences of `code` in ascending position order, as one
+  /// contiguous slice of the flattened occurrence array.  This is the
+  /// step-2 scan's view of the index: where the `first`/`next` chains
+  /// cost one dependent load per occurrence (a pointer chase across the
+  /// whole INDEX array), the CSR slice streams linearly and its length
+  /// is known up front.
+  [[nodiscard]] std::span<const std::int32_t> occurrences_span(
+      SeedCode code) const {
+    return occ_positions_.subspan(occ_offsets_[code],
+                                  occ_offsets_[code + 1] -
+                                      occ_offsets_[code]);
+  }
+
   /// Visit every occurrence of `code` in ascending position order.
   template <typename Fn>
   void for_each(SeedCode code, Fn&& fn) const {
-    for (std::int32_t p = first_[code]; p >= 0;
-         p = next_[static_cast<std::size_t>(p)]) {
+    for (const std::int32_t p : occurrences_span(code)) {
       fn(static_cast<seqio::Pos>(p));
     }
   }
 
-  /// Number of occurrences of `code` (walks the chain).
-  [[nodiscard]] std::size_t occurrence_count(SeedCode code) const;
+  /// Number of occurrences of `code` — O(1) from the CSR offsets.
+  [[nodiscard]] std::size_t occurrence_count(SeedCode code) const {
+    return occ_offsets_[code + 1] - occ_offsets_[code];
+  }
 
   /// Occupancy histogram over the seed-code space: bucket b counts the
   /// indexed positions whose code falls in [b*ceil(4^W/buckets), ...).
   /// The bucket sum equals total_indexed().  `buckets` is clamped to
-  /// [1, 4^W].  O(4^W + N); the exec engine uses it to place seed-code
-  /// shard boundaries so shards carry comparable step-2 work.
+  /// [1, 4^W].  O(4^W) over the CSR offsets — no chain walk — so plan
+  /// compilation places its adaptive shard boundaries without re-reading
+  /// the whole INDEX array.
   [[nodiscard]] std::vector<std::size_t> occupancy_histogram(
       std::size_t buckets) const;
 
@@ -140,7 +172,16 @@ class BankIndex {
     return next_.size() * sizeof(std::int32_t);
   }
 
-  /// Bytes held by the index structures (dictionary + chain).
+  /// Bytes of the flattened occurrence lists (CSR offsets + positions) —
+  /// the scan-side mirror of dictionary + chain, reported separately so
+  /// the paper's ~5N chain accounting stays comparable.
+  [[nodiscard]] std::size_t occurrence_bytes() const {
+    return occ_offsets_.size() * sizeof(std::uint32_t) +
+           occ_positions_.size() * sizeof(std::int32_t);
+  }
+
+  /// Bytes held by the paper's index structures (dictionary + chain; the
+  /// CSR occurrence lists are accounted via occurrence_bytes()).
   [[nodiscard]] std::size_t memory_bytes() const {
     return dictionary_bytes() + chain_bytes();
   }
@@ -150,6 +191,12 @@ class BankIndex {
     return first_;
   }
   [[nodiscard]] std::span<const std::int32_t> chain() const { return next_; }
+  [[nodiscard]] std::span<const std::uint32_t> occurrence_offsets() const {
+    return occ_offsets_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> occurrence_positions() const {
+    return occ_positions_;
+  }
   [[nodiscard]] const filter::MaskBitmap& indexed_bitmap() const {
     return indexed_;
   }
@@ -182,15 +229,25 @@ class BankIndex {
             int /*adopt_tag*/)
       : bank_(&bank), coder_(coder) {}
 
+  /// Flatten the first/next chains into the CSR arrays (one chain walk;
+  /// positions come out in the chains' ascending order).
+  void build_occurrence_lists();
+
   const seqio::SequenceBank* bank_;
   SeedCoder coder_;
   // Owned storage when built in place; empty when adopting, in which case
   // owner_ pins the external memory behind the spans.
   std::vector<std::int32_t> first_storage_;
   std::vector<std::int32_t> next_storage_;
+  std::vector<std::uint32_t> occ_offsets_storage_;
+  std::vector<std::int32_t> occ_positions_storage_;
   std::shared_ptr<const void> owner_;
   std::span<const std::int32_t> first_;  // 4^W entries, -1 = absent
   std::span<const std::int32_t> next_;   // one per bank data position
+  // CSR occurrence lists: positions of code c live at
+  // occ_positions_[occ_offsets_[c] .. occ_offsets_[c+1]), ascending.
+  std::span<const std::uint32_t> occ_offsets_;   // 4^W + 1 entries
+  std::span<const std::int32_t> occ_positions_;  // total_indexed entries
   filter::MaskBitmap indexed_;           // word-start membership bitmap
   std::size_t total_indexed_ = 0;
   std::size_t distinct_seeds_ = 0;

@@ -3,6 +3,8 @@
 // corruption/rejection, and chunked streaming against a loaded index.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -273,6 +275,88 @@ TEST(IndexStoreIndex, AdoptedIndexMatchesFreshBuild) {
   for (std::size_t p = 0; p < bank.data_size(); ++p) {
     ASSERT_EQ(adopted->is_indexed(static_cast<seqio::Pos>(p)),
               fresh.is_indexed(static_cast<seqio::Pos>(p)));
+  }
+}
+
+TEST(IndexStoreIndex, OccurrenceListsRideTheArtifact) {
+  // New artifacts serialize the flattened occurrence lists as trailing
+  // INDX payload fields; the adopted index must expose the same CSR view
+  // as a fresh build (same spans, counts, byte accounting).
+  const auto bank = make_bank(812, 5);
+  store::IndexKey key;
+  const auto loaded = load_blob(store_blob(bank, {key}));
+  const index::BankIndex* adopted = loaded.find(key);
+  ASSERT_NE(adopted, nullptr);
+
+  const auto mask = filter::dust_mask(bank, key.dust_params);
+  index::IndexOptions iopt;
+  iopt.mask = &mask;
+  const index::BankIndex fresh(bank, index::SeedCoder(key.w), iopt);
+
+  EXPECT_EQ(adopted->occurrence_bytes(), fresh.occurrence_bytes());
+  ASSERT_EQ(adopted->occurrence_offsets().size(),
+            fresh.occurrence_offsets().size());
+  for (index::SeedCode c = 0; c < fresh.coder().num_seeds(); ++c) {
+    const auto a = adopted->occurrences_span(c);
+    const auto b = fresh.occurrences_span(c);
+    ASSERT_EQ(a.size(), b.size()) << "seed code " << c;
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+        << "seed code " << c;
+    ASSERT_EQ(adopted->occurrence_count(c), fresh.occurrence_count(c));
+  }
+}
+
+TEST(IndexStoreIndex, BareIndexRoundTripsOccurrenceLists) {
+  const auto bank = make_bank(813, 4);
+  const index::SeedCoder coder(8);
+  const index::BankIndex fresh(bank, coder);
+
+  std::stringstream buf;
+  fresh.save(buf);
+  const auto loaded = index::BankIndex::load(buf, bank);
+  ASSERT_EQ(loaded.total_indexed(), fresh.total_indexed());
+  for (index::SeedCode c = 0; c < coder.num_seeds(); ++c) {
+    const auto a = loaded.occurrences_span(c);
+    const auto b = fresh.occurrences_span(c);
+    ASSERT_EQ(a.size(), b.size()) << "seed code " << c;
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+        << "seed code " << c;
+  }
+}
+
+TEST(IndexStoreIndex, LegacyArtifactWithoutOccurrenceListsStillLoads) {
+  // Artifacts written before the occurrence lists existed stop after the
+  // bitmap size; load_body must fall back to reconstructing the lists
+  // from the chains.  Hand-write that old body layout.
+  const auto bank = make_bank(814, 4);
+  const index::SeedCoder coder(8);
+  const index::BankIndex fresh(bank, coder);
+
+  std::stringstream buf;
+  store::write_header(buf, store::make_tag("SCOI"), 2);
+  store::SectionWriter section(store::make_tag("INDX"));
+  section.put_u32(8);
+  section.put_u64(bank.data_size());
+  section.put_u64(fresh.total_indexed());
+  section.put_u64(fresh.distinct_seeds());
+  section.put_u64(fresh.masked_bases());
+  section.put_array(fresh.dictionary());
+  section.put_array(fresh.chain());
+  section.put_array(
+      std::span<const std::uint64_t>(fresh.indexed_bitmap().words()));
+  section.put_u64(fresh.indexed_bitmap().size());
+  section.finish(buf);
+
+  const auto loaded = index::BankIndex::load(buf, bank);
+  EXPECT_EQ(loaded.total_indexed(), fresh.total_indexed());
+  ASSERT_EQ(loaded.occurrence_offsets().size(), coder.num_seeds() + 1);
+  ASSERT_EQ(loaded.occurrence_positions().size(), fresh.total_indexed());
+  for (index::SeedCode c = 0; c < coder.num_seeds(); ++c) {
+    const auto a = loaded.occurrences_span(c);
+    const auto b = fresh.occurrences_span(c);
+    ASSERT_EQ(a.size(), b.size()) << "seed code " << c;
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+        << "seed code " << c;
   }
 }
 
