@@ -3,11 +3,12 @@
 #
 # Drives the paper's table-reproduction harnesses — bench_t1_datasets
 # (section 3.2 data-set table) and bench_t2_speedup_est (section 3.3 EST
-# speed-up table), plus the bench_a3_parallel scheduler sweep — on the
-# paper's dataset recipes and rewrites docs/BASELINES.md with the
-# measured tables, plus docs/baselines.json with the same runs in
-# machine-readable form (run metadata + per-bench output lines) for
-# dashboards and regression tooling.
+# speed-up table), plus the bench_a3_parallel scheduler sweep and a D1
+# distributed-execution leg (the same compare in-process vs through two
+# local shard workers) — on the paper's dataset recipes, and rewrites
+# docs/BASELINES.md with the measured tables, plus docs/baselines.json
+# with the same runs in machine-readable form (run metadata + per-bench
+# output lines) for dashboards and regression tooling.
 #
 # Usage:   bench/run_baselines.sh [--scale S] [--threads N] [--build DIR]
 # Typical: bench/run_baselines.sh --scale 0.05
@@ -73,6 +74,72 @@ if [[ "$KERNEL" != "scalar" ]]; then
     > "$CAPTURE_DIR/bench_t2_speedup_est_scalar.txt"
 fi
 
+# D1 — distributed execution: one bank pair compared twice, in-process
+# and through two local shard workers on unix sockets.  Both wall times
+# are recorded, and the leg refuses to publish unless the two m8 outputs
+# are byte-identical — the distributed path is a performance knob, never
+# an output knob.
+D1_DIR="$CAPTURE_DIR/d1"
+mkdir -p "$D1_DIR"
+python3 - "$D1_DIR" "$SCALE" <<'EOF'
+import random, sys
+out, scale = sys.argv[1], float(sys.argv[2])
+random.seed(42)
+n = max(8, int(240 * scale))
+def rnd(k): return ''.join(random.choice('ACGT') for _ in range(k))
+def mut(s):
+    return ''.join(random.choice('ACGT') if random.random() < 0.05 else c
+                   for c in s)
+cores = [rnd(500) for _ in range(n)]
+with open(f'{out}/ref.fa', 'w') as f:
+    for i, c in enumerate(cores):
+        f.write(f'>ref{i}\n{rnd(150)}{c}{rnd(150)}\n')
+with open(f'{out}/qry.fa', 'w') as f:
+    for i, c in enumerate(cores):
+        f.write(f'>qry{i}\n{rnd(100)}{mut(c)}{rnd(100)}\n')
+EOF
+D1_SEQS="$(grep -c '^>' "$D1_DIR/ref.fa")"
+
+"$BUILD_DIR/scoris" worker --listen "unix:$D1_DIR/w1.sock" \
+  --threads "$THREADS" 2> "$D1_DIR/w1.err" &
+D1_W1=$!
+"$BUILD_DIR/scoris" worker --listen "unix:$D1_DIR/w2.sock" \
+  --threads "$THREADS" 2> "$D1_DIR/w2.err" &
+D1_W2=$!
+for _ in $(seq 100); do
+  [[ -S "$D1_DIR/w1.sock" && -S "$D1_DIR/w2.sock" ]] && break
+  sleep 0.1
+done
+
+d1_single() {
+  "$BUILD_DIR/scoris" --bank1 "$D1_DIR/ref.fa" --bank2 "$D1_DIR/qry.fa" \
+    --strand both --threads "$THREADS" > "$D1_DIR/single.m8"
+}
+d1_dist() {
+  "$BUILD_DIR/scoris" --bank1 "$D1_DIR/ref.fa" --bank2 "$D1_DIR/qry.fa" \
+    --strand both --threads "$THREADS" \
+    --workers "unix:$D1_DIR/w1.sock,unix:$D1_DIR/w2.sock" \
+    --dist-slices 8 > "$D1_DIR/dist.m8"
+}
+d1_time() {  # wall seconds of "$@", to millisecond precision
+  local t0 t1
+  t0="$(date +%s.%N)"
+  "$@"
+  t1="$(date +%s.%N)"
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+D1_SINGLE_S="$(d1_time d1_single)"
+D1_DIST_S="$(d1_time d1_dist)"
+kill "$D1_W1" "$D1_W2" 2>/dev/null || true
+wait "$D1_W1" "$D1_W2" 2>/dev/null || true
+cmp "$D1_DIR/single.m8" "$D1_DIR/dist.m8"
+{
+  echo "bench=d1_distributed seqs=$D1_SEQS threads=$THREADS" \
+       "workers=2 dist_slices=8"
+  echo "single_process_s=$D1_SINGLE_S distributed_s=$D1_DIST_S" \
+       "identical=yes hits=$(wc -l < "$D1_DIR/single.m8")"
+} > "$CAPTURE_DIR/d1_distributed.txt"
+
 {
   echo "# Performance baselines"
   echo
@@ -113,6 +180,16 @@ fi
   echo "## A3 — parallel step-2/step-3 scaling and shard balance"
   echo
   run bench_a3_parallel
+  echo
+  echo "## D1 — distributed execution (2 local shard workers)"
+  echo
+  echo "The same compare run in-process and through two \`scoris worker\`"
+  echo "processes on unix sockets (\`--workers\`, \`--dist-slices 8\`)."
+  echo "The leg verifies the two m8 outputs byte-identical before"
+  echo "publishing.  Local workers measure protocol + streaming overhead"
+  echo "only; real speed-up needs workers on separate hosts."
+  echo
+  run d1_distributed
 } > "$OUT"
 
 # The machine-readable companion: the same runs keyed by bench name,

@@ -20,7 +20,10 @@
 #include "api/sinks.hpp"
 #include "core/options.hpp"
 #include "daemon/server.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "net/client.hpp"
+#include "net/retry.hpp"
 #include "net/socket.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
@@ -46,6 +49,7 @@ const std::vector<std::string>& known_flags() {
       "s1",      "stats",      "help",  "version", "shards",
       "schedule", "memory-budget-mb", "delivery-budget-kb", "tmp-dir",
       "trace-json", "force-scalar", "kernel",
+      "workers", "worker-timeout-ms", "dist-slices",
   };
   return kKnown;
 }
@@ -58,6 +62,7 @@ const std::vector<std::string>& known_search_flags() {
       "memory-budget-mb", "help",     "shards",
       "schedule", "delivery-budget-kb", "tmp-dir",
       "trace-json", "force-scalar",
+      "workers", "worker-timeout-ms", "dist-slices",
   };
   return kKnown;
 }
@@ -84,6 +89,15 @@ const std::vector<std::string>& known_serve_flags() {
 const std::vector<std::string>& known_query_flags() {
   static const std::vector<std::string> kKnown = {
       "connect", "bank2", "out", "strand", "stats", "help",
+      "retry", "retry-backoff-ms",
+  };
+  return kKnown;
+}
+
+const std::vector<std::string>& known_worker_flags() {
+  static const std::vector<std::string> kKnown = {
+      "listen", "threads", "backlog", "max-jobs",
+      "log-level", "log-file", "help",
   };
   return kKnown;
 }
@@ -94,6 +108,10 @@ const std::vector<std::string>& known_stats_flags() {
   };
   return kKnown;
 }
+
+bool parse_worker_list(const std::string& spec,
+                       std::vector<net::Endpoint>& workers,
+                       std::ostream& err);
 
 /// Load a bank from FASTA, or from the binary .scob format when the path
 /// ends in ".scob".
@@ -253,6 +271,16 @@ bool parse_search_options(const util::Args& args, CliConfig& config,
   config.tmp_dir = args.get("tmp-dir");
   config.trace_json_path = args.get("trace-json");
 
+  config.workers = args.get("workers");
+  if (!parse_int_flag(args, "worker-timeout-ms", 1, 1 << 30,
+                      config.worker_timeout_ms, err)) {
+    return false;
+  }
+  if (!parse_size_flag(args, "dist-slices", 0, 1 << 20, config.dist_slices,
+                       err)) {
+    return false;
+  }
+
   config.dust = args.get_flag("dust", true);
   if (args.get_flag("no-dust")) config.dust = false;
   config.asymmetric = args.get_flag("asymmetric");
@@ -371,6 +399,59 @@ void discard_partial_output(const CliConfig& config,
   std::ofstream(config.out_path, std::ios::trunc);
 }
 
+/// Split `--workers host:port,unix:/path,...` into parsed endpoints.
+bool parse_worker_list(const std::string& spec,
+                       std::vector<net::Endpoint>& workers,
+                       std::ostream& err) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string item =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty()) {
+      try {
+        workers.push_back(net::parse_endpoint(item));
+      } catch (const net::NetError& e) {
+        err << "error: --workers: " << e.what() << '\n';
+        return false;
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (workers.empty()) {
+    err << "error: --workers expects host:port[,host:port...]\n";
+    return false;
+  }
+  return true;
+}
+
+/// One search through the distributed coordinator (--workers given):
+/// byte-identical m8, plan groups fanned out over the worker endpoints
+/// plus this process.  `index_path` non-empty ships the reference as a
+/// .scix path (the `search` form); otherwise the bank is inlined.
+SearchOutcome search_distributed(const Session& session,
+                                 const seqio::SequenceBank& bank2,
+                                 HitSink& sink, const SearchLimits& limits,
+                                 const CliConfig& config,
+                                 const std::string& index_path,
+                                 std::vector<net::Endpoint> workers,
+                                 std::ostream& err) {
+  dist::DistConfig dcfg;
+  dcfg.workers = std::move(workers);
+  dcfg.connect_timeout_ms = config.worker_timeout_ms;
+  dcfg.recv_timeout_ms = config.worker_timeout_ms;
+  dcfg.dist_slices = config.dist_slices;
+  dcfg.index_path = index_path;
+  // Worker lifecycle events (connects, retries, abandoned workers) are
+  // operational news the user should see; warn keeps the happy path
+  // quiet.
+  obs::Logger logger(err, obs::LogLevel::kWarn);
+  dcfg.logger = &logger;
+  return dist::run_distributed(session, bank2, sink, limits, dcfg);
+}
+
 int run_compare(const CliConfig& config, std::ostream& out,
                 std::ostream& err) {
   seqio::SequenceBank bank1;
@@ -397,7 +478,16 @@ int run_compare(const CliConfig& config, std::ostream& out,
     limits.memory_budget_bytes =
         static_cast<std::size_t>(config.memory_budget_mb) << 20;
     if (!config.trace_json_path.empty()) limits.trace = &trace;
-    const SearchOutcome outcome = session.search(bank2, writer, limits);
+    SearchOutcome outcome;
+    if (!config.workers.empty()) {
+      std::vector<net::Endpoint> workers;
+      if (!parse_worker_list(config.workers, workers, err)) return kUsage;
+      outcome = search_distributed(session, bank2, writer, limits, config,
+                                   /*index_path=*/"", std::move(workers),
+                                   err);
+    } else {
+      outcome = session.search(bank2, writer, limits);
+    }
     if (!flush_sink(config, *sink, err)) return kRuntimeError;
     if (!config.trace_json_path.empty()) {
       trace.write_chrome_json(config.trace_json_path);
@@ -445,7 +535,18 @@ int run_search(const CliConfig& config, std::ostream& out,
     limits.memory_budget_bytes =
         static_cast<std::size_t>(config.memory_budget_mb) << 20;
     if (!config.trace_json_path.empty()) limits.trace = &trace;
-    const SearchOutcome outcome = session->search(bank2, writer, limits);
+    SearchOutcome outcome;
+    if (!config.workers.empty()) {
+      std::vector<net::Endpoint> workers;
+      if (!parse_worker_list(config.workers, workers, err)) return kUsage;
+      // Workers that share a filesystem load the .scix themselves; the
+      // coordinator only inlines bank bytes on the flat compare form.
+      outcome = search_distributed(*session, bank2, writer, limits, config,
+                                   config.index_path, std::move(workers),
+                                   err);
+    } else {
+      outcome = session->search(bank2, writer, limits);
+    }
     if (!flush_sink(config, *sink, err)) return kRuntimeError;
     if (!config.trace_json_path.empty()) {
       trace.write_chrome_json(config.trace_json_path);
@@ -496,10 +597,17 @@ int run_index(const IndexCliConfig& config, std::ostream& err) {
 /// Server::request_stop is async-signal-safe (atomic store + write(2)),
 /// so the handler body is too.
 std::atomic<daemon::Server*> g_serving{nullptr};
+/// Likewise for `scoris worker` — Worker::request_stop shares the same
+/// atomic-plus-wake-pipe contract.  One process runs at most one of the
+/// two daemons, so a single handler checking both atomics suffices.
+std::atomic<dist::Worker*> g_worker{nullptr};
 
 extern "C" void serve_signal_handler(int /*signo*/) {
   if (daemon::Server* server = g_serving.load(std::memory_order_acquire)) {
     server->request_stop();
+  }
+  if (dist::Worker* worker = g_worker.load(std::memory_order_acquire)) {
+    worker->request_stop();
   }
 }
 
@@ -521,6 +629,30 @@ class ServeSignalScope {
   }
   ServeSignalScope(const ServeSignalScope&) = delete;
   ServeSignalScope& operator=(const ServeSignalScope&) = delete;
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+/// The worker-side twin of ServeSignalScope.
+class WorkerSignalScope {
+ public:
+  explicit WorkerSignalScope(dist::Worker& worker) {
+    g_worker.store(&worker, std::memory_order_release);
+    struct sigaction action {};
+    action.sa_handler = &serve_signal_handler;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~WorkerSignalScope() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    g_worker.store(nullptr, std::memory_order_release);
+  }
+  WorkerSignalScope(const WorkerSignalScope&) = delete;
+  WorkerSignalScope& operator=(const WorkerSignalScope&) = delete;
 
  private:
   struct sigaction old_int_ {};
@@ -625,15 +757,33 @@ int run_query(const QueryCliConfig& config, std::ostream& out,
   }
 
   try {
-    net::QueryClient client = net::QueryClient::connect(config.endpoint);
-    if (fasta.size() > client.max_query_bytes()) {
+    // A saturated daemon refuses with BUSY instead of queueing; --retry
+    // turns that refusal into capped-backoff redials (the same
+    // net::RetryPolicy the distributed coordinator re-dials workers
+    // with) rather than an immediate exit 1.
+    const net::RetryPolicy policy{config.retry, config.retry_backoff_ms,
+                                  5000};
+    std::optional<net::QueryClient> client;
+    for (int attempt = 0; !client; ++attempt) {
+      try {
+        client.emplace(net::QueryClient::connect(config.endpoint));
+      } catch (const net::ServerBusy&) {
+        if (attempt >= policy.retries) throw;
+        const int delay = policy.delay_ms(attempt);
+        err << "scoris query: server busy, retrying in " << delay
+            << " ms (attempt " << (attempt + 1) << "/" << policy.retries
+            << ")\n";
+        net::sleep_ms(delay);
+      }
+    }
+    if (fasta.size() > client->max_query_bytes()) {
       err << "error: query is " << fasta.size()
-          << " bytes; the server accepts at most " << client.max_query_bytes()
-          << '\n';
+          << " bytes; the server accepts at most "
+          << client->max_query_bytes() << '\n';
       return kRuntimeError;
     }
     const net::QueryResult result =
-        client.query(fasta, strand, [&](std::string_view rows) {
+        client->query(fasta, strand, [&](std::string_view rows) {
           sink->write(rows.data(),
                       static_cast<std::streamsize>(rows.size()));
           if (!*sink) {
@@ -671,6 +821,57 @@ int run_query(const QueryCliConfig& config, std::ostream& out,
   return kOk;
 }
 
+int run_worker(const WorkerCliConfig& config, std::ostream& err) {
+  // Same logging discipline as serve: structured logger for everything
+  // the daemon says, plain "error:" lines only before it exists.
+  const obs::LogLevel level = obs::parse_log_level(config.log_level)
+                                  .value_or(obs::LogLevel::kInfo);
+  std::optional<obs::Logger> logger;
+  try {
+    if (!config.log_file.empty()) {
+      logger.emplace(config.log_file, level);
+    } else {
+      logger.emplace(err, level);
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kRuntimeError;
+  }
+
+  dist::WorkerConfig worker_config;
+  worker_config.endpoint = config.endpoint;
+  worker_config.backlog = config.backlog;
+  worker_config.threads = config.threads;
+  worker_config.max_jobs = config.max_jobs;
+  worker_config.logger = &*logger;
+
+  try {
+    dist::Worker worker(worker_config);
+    worker.bind();
+    // The ready line coordinators, CI, and tests wait for — flushed
+    // before the accept loop blocks, with the resolved endpoint.
+    logger->info("scoris worker: listening on " +
+                     net::to_string(worker.endpoint()),
+                 {obs::kv("max_jobs", static_cast<unsigned long long>(
+                                          config.max_jobs)),
+                  obs::kv("threads", config.threads)});
+    {
+      WorkerSignalScope signals(worker);
+      worker.serve();
+    }
+    const dist::WorkerCounters counters = worker.counters();
+    logger->info("scoris worker: shut down after " +
+                     std::to_string(counters.groups) + " groups",
+                 {obs::kv("connections", counters.accepted),
+                  obs::kv("jobs", counters.jobs),
+                  obs::kv("failed", counters.failed)});
+  } catch (const std::exception& e) {
+    logger->error(e.what());
+    return kRuntimeError;
+  }
+  return kOk;
+}
+
 int run_stats(const StatsCliConfig& config, std::ostream& out,
               std::ostream& err) {
   try {
@@ -700,6 +901,7 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "       " << program << " serve --index <ref.scix> --listen <addr>\n"
      << "       " << program << " query --connect <addr> --bank2 <b.fa>\n"
      << "       " << program << " stats --connect <addr>\n"
+     << "       " << program << " worker --listen <addr>\n"
      << "\n"
      << "Compare two DNA banks with the ORIS pipeline and write BLAST -m 8\n"
      << "tabular output. Banks are FASTA files (or binary .scob banks);\n"
@@ -730,6 +932,14 @@ void print_usage(std::ostream& os, const std::string& program) {
      << "                  the system temp directory)\n"
      << "  --trace-json FILE   write per-stage spans (index/scan/gapped/\n"
      << "                  merge) as Chrome trace_event JSON to FILE\n"
+     << "  --workers LIST  comma-separated `" << program
+     << " worker` endpoints\n"
+     << "                  (host:port or unix:/path); distribute plan\n"
+     << "                  groups over them, byte-identical output\n"
+     << "  --worker-timeout-ms N   per-worker connect deadline and recv\n"
+     << "                  silence bound (default 30000)\n"
+     << "  --dist-slices N minimum bank2 slices when distributing\n"
+     << "                  (default 0 = auto; output-invariant)\n"
      << "  --force-scalar  pin step 2 to the scalar match-run kernel\n"
      << "                  instead of the best SIMD one (output-invariant;\n"
      << "                  for A/B timing)\n"
@@ -794,6 +1004,14 @@ void print_search_usage(std::ostream& os, const std::string& program) {
      << "                  the system temp directory)\n"
      << "  --trace-json FILE   write per-stage spans (index/scan/gapped/\n"
      << "                  merge) as Chrome trace_event JSON to FILE\n"
+     << "  --workers LIST  comma-separated `" << program
+     << " worker` endpoints;\n"
+     << "                  workers load the .scix from their own\n"
+     << "                  filesystem (shared path required)\n"
+     << "  --worker-timeout-ms N   per-worker connect deadline and recv\n"
+     << "                  silence bound (default 30000)\n"
+     << "  --dist-slices N minimum bank2 slices when distributing\n"
+     << "                  (default 0 = auto; output-invariant)\n"
      << "  --force-scalar  pin step 2 to the scalar match-run kernel\n"
      << "                  instead of the best SIMD one (output-invariant;\n"
      << "                  for A/B timing)\n"
@@ -847,6 +1065,10 @@ void print_query_usage(std::ostream& os, const std::string& program) {
      << "  --strand S      plus, minus, or both (default: the server's)\n"
      << "  --stats         print the result summary to stderr (includes\n"
      << "                  the server-side query seconds on v2 servers)\n"
+     << "  --retry N       retry a BUSY refusal up to N times with capped\n"
+     << "                  exponential backoff (default 0 = fail fast)\n"
+     << "  --retry-backoff-ms M   delay before the first retry (default\n"
+     << "                  100; doubles per attempt, capped at 5000)\n"
      << "  --help          show this message and exit\n";
 }
 
@@ -862,6 +1084,31 @@ void print_stats_usage(std::ostream& os, const std::string& program) {
      << "\n"
      << "options:\n"
      << "  --connect ADDR  host:port or unix:/path, as given to --listen\n"
+     << "  --help          show this message and exit\n";
+}
+
+void print_worker_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program << " worker --listen <addr> [options]\n"
+     << "\n"
+     << "Run a distributed shard worker: wait for a coordinator (`"
+     << program << "`\n"
+     << "with --workers), receive the reference + query bank + options,\n"
+     << "execute assigned plan groups through the local engine, and stream\n"
+     << "each sorted run back over the connection (docs/API.md, worker\n"
+     << "protocol v1). Prints `listening on <addr>` when ready; SIGINT or\n"
+     << "SIGTERM drains in-flight groups and exits 0.\n"
+     << "\n"
+     << "options:\n"
+     << "  --listen ADDR   host:port (port 0 = ephemeral, real port in the\n"
+     << "                  ready line) or unix:/path/to.sock\n"
+     << "  --threads N     engine threads per job (default 1);\n"
+     << "                  output-invariant, chosen by the worker\n"
+     << "  --max-jobs N    concurrent coordinator connections (default 2);\n"
+     << "                  excess connections are refused\n"
+     << "  --backlog N     kernel accept-queue bound (default 16)\n"
+     << "  --log-level L   error, warn, info (default), or debug\n"
+     << "  --log-file FILE append structured logs to FILE (default: the\n"
+     << "                  error stream)\n"
      << "  --help          show this message and exit\n";
 }
 
@@ -1068,6 +1315,63 @@ bool parse_query_cli(int argc, const char* const* argv,
     return false;
   }
   config.stats = args.get_flag("stats");
+  if (!parse_int_flag(args, "retry", 0, 1000, config.retry, err)) {
+    return false;
+  }
+  if (!parse_int_flag(args, "retry-backoff-ms", 1, 1 << 20,
+                      config.retry_backoff_ms, err)) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_worker_cli(int argc, const char* const* argv,
+                      WorkerCliConfig& config, std::ostream& err) {
+  const util::Args args = util::Args::parse(argc, argv);
+
+  if (!reject_unknown_flags(args, known_worker_flags(), err)) return false;
+  if (!check_boolean_flag(args, "help", err)) return false;
+
+  config.help = args.get_flag("help");
+  if (config.help) return true;
+
+  if (!args.positional().empty()) {
+    err << "error: worker takes no positional arguments, got '"
+        << args.positional()[0] << "'\n";
+    return false;
+  }
+  const std::string listen = args.get("listen");
+  if (listen.empty()) {
+    err << "error: --listen is required\n";
+    return false;
+  }
+  try {
+    config.endpoint = net::parse_endpoint(listen);
+  } catch (const net::NetError& e) {
+    err << "error: " << e.what() << '\n';
+    return false;
+  }
+  if (!parse_int_flag(args, "threads", 1, 1 << 10, config.threads, err)) {
+    return false;
+  }
+  if (!parse_int_flag(args, "backlog", 1, 1 << 12, config.backlog, err)) {
+    return false;
+  }
+  std::size_t max_jobs = config.max_jobs;
+  if (!parse_size_flag(args, "max-jobs", 1, 1 << 10, max_jobs, err)) {
+    return false;
+  }
+  config.max_jobs = max_jobs;
+  const std::string log_level = args.get("log-level");
+  if (!log_level.empty()) {
+    if (!obs::parse_log_level(log_level)) {
+      err << "error: --log-level must be error, warn, info, or debug (got '"
+          << log_level << "')\n";
+      return false;
+    }
+    config.log_level = log_level;
+  }
+  config.log_file = args.get("log-file");
   return true;
 }
 
@@ -1159,6 +1463,19 @@ int run(int argc, const char* const* argv, std::ostream& out,
       return kOk;
     }
     return run_query(config, out, err);
+  }
+
+  if (subcommand == "worker") {
+    WorkerCliConfig config;
+    if (!parse_worker_cli(argc - 1, argv + 1, config, err)) {
+      print_worker_usage(err, program);
+      return kUsage;
+    }
+    if (config.help) {
+      print_worker_usage(out, program);
+      return kOk;
+    }
+    return run_worker(config, err);
   }
 
   if (subcommand == "stats") {

@@ -1,12 +1,13 @@
 // The `scoris` command-line driver.
 //
-// Six entry forms share one binary:
+// Seven entry forms share one binary:
 //   scoris --bank1 a.fa --bank2 b.fa [options]   # compare (original form)
 //   scoris index --bank ref.fa --out ref.scix    # prebuild a .scix artifact
 //   scoris search --index ref.scix --bank2 b.fa  # compare against artifact
 //   scoris serve --index ref.scix --listen ADDR  # scorisd network daemon
 //   scoris query --connect ADDR --bank2 b.fa     # query a running daemon
 //   scoris stats --connect ADDR                  # scrape daemon metrics
+//   scoris worker --listen ADDR                  # distributed shard worker
 //
 // Wires util::Args -> FASTA/.scob/.scix loading -> scoris::Session ->
 // streaming M8Writer output.  Option values are validated by
@@ -72,6 +73,16 @@ struct CliConfig {
   /// and write them as Chrome trace_event JSON to this path — load it in
   /// chrome://tracing or Perfetto (see docs/OBSERVABILITY.md).
   std::string trace_json_path;
+  /// Comma-separated `scoris worker` endpoints ("host:port,unix:/p").
+  /// Non-empty switches the compare/search drivers onto the distributed
+  /// coordinator (dist/coordinator.hpp); output stays byte-identical to
+  /// the single-process run.
+  std::string workers;
+  /// Per-worker connect deadline and recv-silence bound (milliseconds).
+  int worker_timeout_ms = 30000;
+  /// Lower bound on bank2 slices for distribution; 0 = auto,
+  /// 2 * (workers + 1).  Output-invariant (balance knob only).
+  std::size_t dist_slices = 0;
   /// The validated option set the drivers execute with — filled (and
   /// checked via core::Options::validate) during parsing, so a config
   /// that parsed successfully is guaranteed runnable.
@@ -112,6 +123,22 @@ struct QueryCliConfig {
   std::string out_path;    ///< empty = stdout
   std::string strand;      ///< empty = server default; plus|minus|both
   bool stats = false;      ///< print the DONE summary to stderr
+  /// Retry a BUSY admission refusal up to this many times with capped
+  /// exponential backoff (net::RetryPolicy — the same policy the
+  /// distributed coordinator re-dials workers with).  0 = fail fast.
+  int retry = 0;
+  int retry_backoff_ms = 100;  ///< delay before the first retry
+  bool help = false;
+};
+
+/// What `scoris worker` parsed from argv.
+struct WorkerCliConfig {
+  net::Endpoint endpoint;  ///< parsed --listen
+  int threads = 1;         ///< engine threads per job
+  int backlog = 16;        ///< kernel accept-queue bound
+  std::size_t max_jobs = 2;  ///< concurrent coordinator connections
+  std::string log_level = "info";  ///< error | warn | info | debug
+  std::string log_file;  ///< structured-log path; empty = stderr stream
   bool help = false;
 };
 
@@ -147,6 +174,10 @@ bool parse_query_cli(int argc, const char* const* argv,
 bool parse_stats_cli(int argc, const char* const* argv,
                      StatsCliConfig& config, std::ostream& err);
 
+/// Parse the `scoris worker` argv (argv[0] is the subcommand token).
+bool parse_worker_cli(int argc, const char* const* argv,
+                      WorkerCliConfig& config, std::ostream& err);
+
 /// Full driver: dispatch on the `index` / `search` subcommand (flat
 /// compare otherwise), load inputs, run, write m8 to `out` (or to
 /// config.out_path when given). Diagnostics and --stats go to `err`.
@@ -161,5 +192,6 @@ void print_search_usage(std::ostream& os, const std::string& program);
 void print_serve_usage(std::ostream& os, const std::string& program);
 void print_query_usage(std::ostream& os, const std::string& program);
 void print_stats_usage(std::ostream& os, const std::string& program);
+void print_worker_usage(std::ostream& os, const std::string& program);
 
 }  // namespace scoris::cli

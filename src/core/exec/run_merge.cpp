@@ -59,28 +59,64 @@ constexpr std::size_t kAlignBytes = sizeof(GappedAlignment);
 /// Batch size when no budget bounds the delivery path.
 constexpr std::size_t kDefaultBatchElems = 8192;
 
+/// Forwards writes to a target streambuf while counting the bytes.
+/// Spill runs are also written to non-seekable sinks (the worker
+/// protocol streams them over a socket streambuf), where the usual
+/// tellp() delta is unavailable (-1 on both ends).
+class CountingBuf : public std::streambuf {
+ public:
+  explicit CountingBuf(std::streambuf* dst) : dst_(dst) {}
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+    const int_type put = dst_->sputc(traits_type::to_char_type(ch));
+    if (!traits_type::eq_int_type(put, traits_type::eof())) ++count_;
+    return put;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    const std::streamsize written = dst_->sputn(s, n);
+    count_ += static_cast<std::uint64_t>(written);
+    return written;
+  }
+  int sync() override { return dst_->pubsync(); }
+
+ private:
+  std::streambuf* dst_;
+  std::uint64_t count_ = 0;
+};
+
 }  // namespace
 
 std::uint64_t write_spill_run(std::ostream& os,
                               std::span<const GappedAlignment> run,
                               std::size_t block_elems) {
   if (block_elems == 0) block_elems = 1;
-  const auto begin = os.tellp();
-  store::write_header(os, kRunMagic, kRunVersion);
+  CountingBuf counter(os.rdbuf());
+  std::ostream cos(&counter);
+  // Match the caller's exception discipline so a streambuf throw (the
+  // worker's dead-peer NetError) propagates as itself instead of being
+  // swallowed into badbit.
+  cos.exceptions(os.exceptions());
+  store::write_header(cos, kRunMagic, kRunVersion);
   {
     store::SectionWriter header(kRunHeader);
     header.put_u64(run.size());
     header.put_u64(block_elems);
-    header.finish(os);
+    header.finish(cos);
   }
   for (std::size_t from = 0; from < run.size(); from += block_elems) {
     const std::size_t n = std::min(block_elems, run.size() - from);
     store::SectionWriter block(kRunBlock);
     block.put_array(run.subspan(from, n));
-    block.finish(os);
+    block.finish(cos);
   }
-  if (!os) throw std::runtime_error("spill run: write failed");
-  return static_cast<std::uint64_t>(os.tellp() - begin);
+  if (!cos) {
+    os.setstate(cos.rdstate());
+    throw std::runtime_error("spill run: write failed");
+  }
+  return counter.count();
 }
 
 SpillRunReader::SpillRunReader(std::istream& is, std::string what)
@@ -101,7 +137,12 @@ SpillRunReader::SpillRunReader(std::istream& is, std::string what)
 
 std::vector<GappedAlignment> SpillRunReader::next_block(std::istream& is) {
   if (read_ == total_) return {};
-  is.seekg(offset_);
+  // Reopened spill files seek to the recorded block offset; a
+  // non-seekable stream (socket-backed, tellg() == -1) is consumed
+  // strictly sequentially and is by construction already positioned at
+  // the next block.
+  const std::streamoff pos = is.tellg();
+  if (pos != offset_ && pos != std::streamoff{-1}) is.seekg(offset_);
   store::SectionReader section(is, what_);
   if (!section.is(kRunBlock)) {
     throw std::runtime_error(what_ + ": expected RUNB section, got " +
@@ -169,6 +210,14 @@ void RunMerger::track_peak(std::size_t batch_capacity) {
 }
 
 void RunMerger::add_run(std::vector<GappedAlignment>&& run) {
+  // Sequential callers (the engine) add in plan order, so insertion
+  // order is the tie-break; runs_.size() reproduces the historical
+  // run-index key exactly (empty runs never occupy a slot).
+  add_run(std::move(run), runs_.size());
+}
+
+void RunMerger::add_run(std::vector<GappedAlignment>&& run,
+                        std::size_t order) {
   if (run.empty()) return;
   ++stats_.runs;
   const std::size_t run_bytes = run.size() * kAlignBytes;
@@ -182,10 +231,11 @@ void RunMerger::add_run(std::vector<GappedAlignment>&& run) {
       retained_bytes_ + run_bytes <= run_share) {
     retained_bytes_ += run_bytes;
     track_peak(0);
-    runs_.push_back(Run{std::move(run), 0, {}});
+    runs_.push_back(Run{std::move(run), 0, {}, order});
     return;
   }
   Run spilled;
+  spilled.order = order;
   spilled.path = next_spill_path();
   try {
     std::ofstream os(spilled.path, std::ios::binary);
@@ -264,17 +314,19 @@ std::size_t RunMerger::merge(HitSink& sink, HitBatch batch) {
                                   config_.budget_bytes / 4 / kAlignBytes)
           : kDefaultBatchElems;
 
-  // Later-run items sort after earlier-run items on a full step4 tie, so
-  // the merge is stable in plan order — a deterministic refinement of
-  // the sort the collector path used.
+  // Higher-order items sort after lower-order items on a full step4 tie,
+  // so the merge is stable in plan order whatever order the runs were
+  // added in — a deterministic refinement of the sort the collector path
+  // used.
   struct Item {
     const GappedAlignment* a;
-    std::size_t run;
+    std::size_t run;    ///< index into runs_ (for cursor refills)
+    std::size_t order;  ///< the run's tie-break key
   };
   const auto after = [](const Item& x, const Item& y) {
     if (step4_less(*x.a, *y.a)) return false;
     if (step4_less(*y.a, *x.a)) return true;
-    return x.run > y.run;
+    return x.order > y.order;
   };
   std::priority_queue<Item, std::vector<Item>, decltype(after)> heap(after);
 
@@ -288,7 +340,7 @@ std::size_t RunMerger::merge(HitSink& sink, HitBatch batch) {
     } else {
       total += run.mem.size();
     }
-    if (ensure(r)) heap.push({&run.mem[run.pos], r});
+    if (ensure(r)) heap.push({&run.mem[run.pos], r, run.order});
   }
 
   std::vector<GappedAlignment> buf;
@@ -314,7 +366,7 @@ std::size_t RunMerger::merge(HitSink& sink, HitBatch batch) {
     buf.push_back(*top.a);
     Run& run = runs_[top.run];
     ++run.pos;
-    if (ensure(top.run)) heap.push({&run.mem[run.pos], top.run});
+    if (ensure(top.run)) heap.push({&run.mem[run.pos], top.run, top.order});
     track_peak(buf.capacity());
     if (buf.size() == batch_elems) deliver(emitted + buf.size() == total);
   }

@@ -82,10 +82,14 @@ std::uint64_t write_spill_run(std::ostream& os,
 /// garbage into the output stream.
 ///
 /// The reader does not hold the stream: next_block() takes it and seeks
-/// to its own recorded offset first, so the merge can close a spill file
-/// between blocks and reopen on demand — many-group spill-heavy plans
-/// must not hold one fd per run for the whole merge (RLIMIT_NOFILE).
-/// Sequential use over one stream (as the tests do) works unchanged.
+/// to its own recorded offset first when the stream is seekable and
+/// positioned elsewhere, so the merge can close a spill file between
+/// blocks and reopen on demand — many-group spill-heavy plans must not
+/// hold one fd per run for the whole merge (RLIMIT_NOFILE).  On a
+/// non-seekable stream (tellg() == -1, e.g. a socket-backed streambuf
+/// carrying a remote worker's run) the reader consumes blocks strictly
+/// sequentially and never seeks, so the same validation applies to wire
+/// bytes and temp files alike.
 class SpillRunReader {
  public:
   /// Reads and validates the header from `is` (positioned at the run's
@@ -124,8 +128,18 @@ class RunMerger {
 
   /// Append one run in final step4_less order (ownership taken; empty
   /// runs are dropped).  Spills when retaining the run would push the
-  /// in-memory total over the budget's run share.
+  /// in-memory total over the budget's run share.  Ties in the merge
+  /// break on insertion order (the engine adds runs in plan order).
   void add_run(std::vector<align::GappedAlignment>&& run);
+
+  /// Same, with an explicit tie-break key: the merge orders full-step4
+  /// ties by ascending `order` instead of insertion order.  This is what
+  /// lets a distributed coordinator add runs as remote workers finish
+  /// them — out of plan order — and still merge byte-identically to the
+  /// sequential engine, which would have added them in plan order.
+  /// Orders must be unique across the runs added to one merger.
+  void add_run(std::vector<align::GappedAlignment>&& run,
+               std::size_t order);
 
   /// Stream the merged global order into `sink` as consecutive batches
   /// (at least one; the final batch carries HitBatch::last).  `batch`
@@ -139,7 +153,8 @@ class RunMerger {
   struct Run {
     std::vector<align::GappedAlignment> mem;  ///< in-memory run or head block
     std::size_t pos = 0;                      ///< cursor within `mem`
-    std::string path;  ///< spill file; empty = in-memory run
+    std::string path;   ///< spill file; empty = in-memory run
+    std::size_t order = 0;  ///< merge tie-break key (plan-group order)
   };
 
   void track_peak(std::size_t batch_capacity);

@@ -1,0 +1,21 @@
+#include "net/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace scoris::net {
+
+int RetryPolicy::delay_ms(int attempt) const {
+  if (backoff_ms <= 0) return 0;
+  const int cap = max_backoff_ms > 0 ? max_backoff_ms : backoff_ms;
+  long long delay = backoff_ms;
+  for (int i = 0; i < attempt && delay < cap; ++i) delay *= 2;
+  if (delay > cap) delay = cap;
+  return static_cast<int>(delay);
+}
+
+void sleep_ms(int ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace scoris::net

@@ -1,0 +1,32 @@
+// Retry with capped exponential backoff — the one policy shared by
+// every "peer said try again later" path in the networking layer.
+//
+// Two callers today, deliberately on the same helper so their behaviour
+// stays aligned: `scoris query --retry N --retry-backoff-ms M` backing
+// off BUSY refusals from scorisd, and the distributed coordinator
+// re-dialing a worker whose connection dropped.  The policy is
+// deterministic (no jitter): retries here space out a handful of
+// point-to-point reconnects, not a thundering herd, and deterministic
+// delays keep test timing predictable.
+#pragma once
+
+namespace scoris::net {
+
+/// Capped exponential backoff: attempt k (0-based) waits
+/// min(backoff_ms << k, max_backoff_ms) before retrying, for at most
+/// `retries` retries after the initial attempt.
+struct RetryPolicy {
+  int retries = 0;           ///< retry attempts after the first try
+  int backoff_ms = 100;      ///< delay before the first retry
+  int max_backoff_ms = 5000; ///< backoff growth cap
+
+  /// Delay before retry `attempt` (0-based).  Doubles per attempt,
+  /// saturating at max_backoff_ms (overflow-safe for large attempts).
+  [[nodiscard]] int delay_ms(int attempt) const;
+};
+
+/// std::this_thread::sleep_for in milliseconds; no-op for ms <= 0.
+/// Lives here so policy users need no <chrono>/<thread> plumbing.
+void sleep_ms(int ms);
+
+}  // namespace scoris::net

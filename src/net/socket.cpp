@@ -1,11 +1,13 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -41,6 +43,43 @@ void resolve(const Endpoint& ep, bool passive, AddrInfo& out) {
   if (rc != 0) {
     throw NetError("resolve " + ep.host + ": " + ::gai_strerror(rc));
   }
+}
+
+/// Finish one non-blocking connect within the deadline: poll for
+/// writability, then read SO_ERROR for the actual outcome.  Returns an
+/// errno-style code (0 = connected, ETIMEDOUT on deadline).
+int await_connect(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLOUT, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (rc == 0) return ETIMEDOUT;
+    break;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
+}
+
+/// One timed connect attempt on an already-created socket.  Returns an
+/// errno-style code; 0 = connected and restored to blocking mode.
+int connect_with_deadline(int fd, const sockaddr* addr, socklen_t addrlen,
+                          int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno;
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) return errno;
+  int err = 0;
+  if (::connect(fd, addr, addrlen) != 0) {
+    err = (errno == EINPROGRESS || errno == EAGAIN)
+              ? await_connect(fd, timeout_ms)
+              : errno;
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0 && err == 0) err = errno;
+  return err;
 }
 
 sockaddr_un unix_addr(const std::string& path) {
@@ -137,6 +176,14 @@ bool Socket::recv_exact(void* data, std::size_t size) {
     const ssize_t n = ::recv(fd_, p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only reachable with SO_RCVTIMEO armed (see set_recv_timeout):
+        // the peer stalled past the bound.  Name the condition instead
+        // of the raw errno so callers can log a meaningful diagnostic.
+        throw NetError("recv: timed out waiting for the peer (got " +
+                       std::to_string(got) + " of " + std::to_string(size) +
+                       " bytes)");
+      }
       throw_errno("recv");
     }
     if (n == 0) {
@@ -216,6 +263,50 @@ Socket connect_endpoint(const Endpoint& ep) {
     last_error = std::strerror(errno);
   }
   throw NetError("connect " + to_string(ep) + ": " + last_error);
+}
+
+Socket connect_endpoint(const Endpoint& ep, int timeout_ms) {
+  if (timeout_ms <= 0) return connect_endpoint(ep);
+
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid()) throw_errno("socket");
+    const sockaddr_un addr = unix_addr(ep.path);
+    const int err = connect_with_deadline(
+        sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+        timeout_ms);
+    if (err != 0) {
+      throw NetError("connect " + to_string(ep) + ": " +
+                     (err == ETIMEDOUT ? "timed out" : std::strerror(err)));
+    }
+    return sock;
+  }
+
+  AddrInfo ai;
+  resolve(ep, /*passive=*/false, ai);
+  std::string last_error = "no addresses";
+  for (addrinfo* a = ai.head; a != nullptr; a = a->ai_next) {
+    Socket sock(::socket(a->ai_family, a->ai_socktype | SOCK_CLOEXEC,
+                         a->ai_protocol));
+    if (!sock.valid()) continue;
+    const int err = connect_with_deadline(sock.fd(), a->ai_addr,
+                                          a->ai_addrlen, timeout_ms);
+    if (err == 0) return sock;
+    last_error = err == ETIMEDOUT ? "timed out" : std::strerror(err);
+  }
+  throw NetError("connect " + to_string(ep) + ": " + last_error);
+}
+
+void set_recv_timeout(Socket& sock, int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  }
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+      0) {
+    throw_errno("setsockopt SO_RCVTIMEO");
+  }
 }
 
 Socket accept_connection(Socket& listener) {

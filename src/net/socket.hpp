@@ -86,6 +86,19 @@ class Socket {
 /// Connect to the endpoint (blocking).  Throws NetError.
 [[nodiscard]] Socket connect_endpoint(const Endpoint& ep);
 
+/// Connect with a deadline: the TCP handshake (or unix connect) must
+/// finish within `timeout_ms` or NetError("connect ...: timed out") is
+/// thrown.  `timeout_ms` <= 0 degenerates to the blocking connect.  The
+/// returned socket is back in blocking mode.
+[[nodiscard]] Socket connect_endpoint(const Endpoint& ep, int timeout_ms);
+
+/// Bound every subsequent recv on `sock` to `timeout_ms` (SO_RCVTIMEO).
+/// A stalled peer then surfaces as NetError("recv: timed out ...") from
+/// recv_exact instead of blocking forever — the coordinator's read
+/// timeout against slow or wedged workers.  `timeout_ms` <= 0 clears the
+/// bound.
+void set_recv_timeout(Socket& sock, int timeout_ms);
+
 /// Accept one connection from a listener the caller knows is readable.
 /// Returns an invalid Socket on transient failure (ECONNABORTED, ...).
 [[nodiscard]] Socket accept_connection(Socket& listener);

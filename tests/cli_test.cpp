@@ -8,6 +8,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -771,6 +772,104 @@ TEST_F(CliTest, ServeAndQueryEndToEndOverUnixSocket) {
             std::string::npos);
   // --stats on the query printed the server-side seconds from DONE v2.
   EXPECT_NE(query.err.find("server "), std::string::npos);
+  std::remove(sock.c_str());
+}
+
+TEST_F(CliTest, WorkerUsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli({"worker"}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"worker", "--listen", "badspec"}).exit_code, kUsage);
+  EXPECT_EQ(run_cli({"worker", "--listen", "unix:/t.sock", "--max-jobs",
+                     "0"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"worker", "--listen", "unix:/t.sock", "--threads",
+                     "many"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"worker", "--listen", "unix:/t.sock", "--no-such"})
+                .exit_code,
+            kUsage);
+  const CliResult help = run_cli({"worker", "--help"});
+  EXPECT_EQ(help.exit_code, kOk);
+  EXPECT_NE(help.out.find("--listen"), std::string::npos);
+  EXPECT_NE(help.out.find("--max-jobs"), std::string::npos);
+}
+
+TEST_F(CliTest, DistributedFlagsAreValidated) {
+  // A malformed --workers list is a usage error, caught before (or
+  // instead of) any network traffic.
+  const CliResult bad_spec = run_cli(
+      {"--bank1", bank1_, "--bank2", bank2_, "--workers", "nohost"});
+  EXPECT_EQ(bad_spec.exit_code, kUsage);
+  EXPECT_NE(bad_spec.err.find("--workers"), std::string::npos);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_, "--workers",
+                     ","})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                     "--worker-timeout-ms", "0"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"--bank1", bank1_, "--bank2", bank2_,
+                     "--dist-slices", "lots"})
+                .exit_code,
+            kUsage);
+}
+
+TEST_F(CliTest, QueryRetryFlagsAreValidated) {
+  EXPECT_EQ(run_cli({"query", "--connect", "unix:/t.sock", "--bank2",
+                     bank2_, "--retry", "-1"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"query", "--connect", "unix:/t.sock", "--bank2",
+                     bank2_, "--retry", "abc"})
+                .exit_code,
+            kUsage);
+  EXPECT_EQ(run_cli({"query", "--connect", "unix:/t.sock", "--bank2",
+                     bank2_, "--retry-backoff-ms", "0"})
+                .exit_code,
+            kUsage);
+  const CliResult help = run_cli({"query", "--help"});
+  EXPECT_EQ(help.exit_code, kOk);
+  EXPECT_NE(help.out.find("--retry"), std::string::npos);
+}
+
+TEST_F(CliTest, WorkerAndDistributedCompareEndToEnd) {
+  const std::string sock = dir_ + "CliTest_WorkerE2E.sock";
+  std::remove(sock.c_str());
+
+  CliResult worker_result;
+  std::atomic<bool> worker_done{false};
+  std::thread worker([&] {
+    worker_result = run_cli({"worker", "--listen", "unix:" + sock,
+                             "--threads", "2"});
+    worker_done.store(true);
+  });
+
+  // bind() creates the socket before serve() blocks; once it exists a
+  // coordinator can connect (the listen backlog holds the handshake).
+  for (int attempt = 0; attempt < 500 && !worker_done.load(); ++attempt) {
+    if (std::filesystem::exists(sock)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(std::filesystem::exists(sock))
+      << "worker never bound: " << worker_result.err;
+
+  const CliResult direct = run_cli(
+      {"--bank1", bank1_, "--bank2", bank2_, "--strand", "both"});
+  ASSERT_EQ(direct.exit_code, kOk);
+  const CliResult distributed =
+      run_cli({"--bank1", bank1_, "--bank2", bank2_, "--strand", "both",
+               "--workers", "unix:" + sock});
+  EXPECT_EQ(distributed.exit_code, kOk) << distributed.err;
+  EXPECT_EQ(distributed.out, direct.out);
+
+  if (!worker_done.load()) std::raise(SIGTERM);
+  worker.join();
+  EXPECT_EQ(worker_result.exit_code, kOk);
+  EXPECT_NE(worker_result.err.find("listening on unix:"),
+            std::string::npos);
+  EXPECT_NE(worker_result.err.find("shut down"), std::string::npos);
   std::remove(sock.c_str());
 }
 

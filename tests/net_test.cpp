@@ -12,6 +12,7 @@
 
 #include "net/client.hpp"
 #include "net/frame.hpp"
+#include "net/retry.hpp"
 #include "net/socket.hpp"
 
 namespace scoris::net {
@@ -280,6 +281,24 @@ TEST(Client, BusyFrameThrowsServerBusy) {
   });
   EXPECT_THROW((void)QueryClient::connect(ep), ServerBusy);
   server.join();
+}
+
+// --- retry policy ------------------------------------------------------------
+
+TEST(Retry, DelayDoublesAndSaturatesAtTheCap) {
+  const RetryPolicy policy{5, 100, 500};
+  EXPECT_EQ(policy.delay_ms(0), 100);
+  EXPECT_EQ(policy.delay_ms(1), 200);
+  EXPECT_EQ(policy.delay_ms(2), 400);
+  EXPECT_EQ(policy.delay_ms(3), 500);
+  // Far past the doubling range: must saturate, never overflow or wrap.
+  EXPECT_EQ(policy.delay_ms(40), 500);
+}
+
+TEST(Retry, ZeroRetriesIsFailFast) {
+  const RetryPolicy policy{};
+  EXPECT_EQ(policy.retries, 0);
+  EXPECT_EQ(policy.delay_ms(0), 100);  // still well-defined if asked
 }
 
 }  // namespace
