@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lints for scoris.
+
+Generic tools (clang-tidy, -Wthread-safety) cannot see the contracts
+that make scoris correct: the wire-protocol tag tables must match the
+docs, the store format must keep every section CRC-framed, the whole
+tree must lock through the annotated util::Mutex wrappers, and the
+deterministic pipeline must never read a wall clock or a PRNG.  Each
+rule below failed-fast on a real class of past or near-miss defect;
+see docs/STATIC_ANALYSIS.md for the rationale per rule.
+
+Exit status 0 = all invariants hold; 1 = violations (printed one per
+line as `RULE path:line: message`).  Dependency-free by design: runs on
+the stock python3 of any CI image.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+violations: list[str] = []
+
+
+def report(rule: str, path: Path, line: int, message: str) -> None:
+    rel = path.relative_to(REPO)
+    violations.append(f"{rule} {rel}:{line}: {message}")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string literals, preserving
+    line numbers so reported positions stay accurate."""
+
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            end = min(j + 1, n)
+            out.append('"' + " " * max(0, end - i - 2) + '"')
+            i = end
+        elif c == "'" and not (i > 0 and (text[i - 1].isalnum()
+                                          or text[i - 1] == "_")):
+            # Char literal (incl. '"' and '\''); the isalnum guard keeps
+            # C++14 digit separators like 1'000'000 out of this branch.
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            end = min(j + 1, n)
+            out.append("'" + " " * max(0, end - i - 2) + "'")
+            i = end
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def source_files(*roots: Path, suffixes: tuple[str, ...] = (".cpp", ".hpp")):
+    for root in roots:
+        if not root.exists():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+# --------------------------------------------------------------------------
+# R1 — protocol tag tables in code and docs/API.md must agree, both ways.
+# A tag added to net/frame.hpp or dist/protocol.hpp without a docs row is
+# an undocumented wire extension; a documented tag with no constant is a
+# docs rot bomb for client implementors.
+# --------------------------------------------------------------------------
+
+def check_protocol_docs_sync() -> None:
+    code_tags: dict[str, tuple[Path, int]] = {}
+    for path in (SRC / "net" / "frame.hpp", SRC / "dist" / "protocol.hpp"):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for m in re.finditer(r'make_frame_tag\("([^"]{4})"\)', line):
+                code_tags[m.group(1)] = (path, lineno)
+
+    api = REPO / "docs" / "API.md"
+    api_text = api.read_text()
+    doc_tags: set[str] = set()
+    # Client-protocol table rows: | `HELO` | ... | and inline mentions.
+    for m in re.finditer(r"`([A-Z][A-Z ]{3})`", api_text):
+        doc_tags.add(m.group(1))
+    # Worker conversation code fence: WHLO / WJOB / ... as plain text.
+    for m in re.finditer(r"\b(W[A-Z]{3})\b", api_text):
+        doc_tags.add(m.group(1))
+
+    for tag, (path, lineno) in sorted(code_tags.items()):
+        if tag not in doc_tags:
+            report("R1-tag-undocumented", path, lineno,
+                   f"frame tag '{tag}' has no entry in docs/API.md")
+    # Only flag documented tags that *look like* protocol tags but have
+    # no constant; prose words in backticks are filtered by the strict
+    # pattern above, so anything left is a stale doc row.
+    for tag in sorted(doc_tags - set(code_tags)):
+        if tag.startswith("W") or tag in {"HELO", "BUSY", "QRY ", "ROWS",
+                                          "DONE", "ERR ", "STAT"}:
+            report("R1-tag-stale-doc", api, 1,
+                   f"docs/API.md documents tag '{tag}' but no "
+                   f"make_frame_tag constant defines it")
+
+
+# --------------------------------------------------------------------------
+# R2 — every store-format byte goes through the CRC-framed section writer.
+# A naked ostream::write in the store layer bypasses crc32 framing and
+# makes silent corruption undetectable at load time.
+# --------------------------------------------------------------------------
+
+R2_ALLOWED = {SRC / "store" / "format.cpp"}
+
+
+def check_store_writes_framed() -> None:
+    targets = list(source_files(SRC / "store"))
+    run_merge = SRC / "core" / "exec" / "run_merge.cpp"
+    if run_merge.exists():
+        targets.append(run_merge)
+    for path in targets:
+        if path in R2_ALLOWED:
+            continue
+        text = strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if re.search(r"\.write\s*\(", line):
+                report("R2-unframed-write", path, lineno,
+                       "raw ostream write outside store/format.cpp — "
+                       "store bytes must go through the CRC-framed "
+                       "SectionWriter")
+
+
+# --------------------------------------------------------------------------
+# R3 — all locking goes through util::Mutex / util::MutexLock so the
+# Clang thread-safety analysis sees every critical section.  Raw std
+# sync types or manual .lock()/.unlock() calls opt out of the proof.
+# --------------------------------------------------------------------------
+
+R3_ALLOWED = {SRC / "util" / "thread_annotations.hpp"}
+
+R3_PATTERNS = [
+    (re.compile(r"\bstd::mutex\b"), "std::mutex member/local"),
+    (re.compile(r"\bstd::condition_variable\b"), "std::condition_variable"),
+    (re.compile(r"\bstd::lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bstd::unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bstd::scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\.\s*lock\s*\(\s*\)"), "manual .lock() call"),
+    (re.compile(r"\.\s*unlock\s*\(\s*\)"), "manual .unlock() call"),
+]
+
+
+def check_annotated_locking_only() -> None:
+    for path in source_files(SRC):
+        if path in R3_ALLOWED:
+            continue
+        text = strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern, what in R3_PATTERNS:
+                if pattern.search(line):
+                    report("R3-raw-lock", path, lineno,
+                           f"{what} — use util::Mutex / util::MutexLock / "
+                           f"util::CondVar (util/thread_annotations.hpp) "
+                           f"so -Wthread-safety covers this code")
+
+
+# --------------------------------------------------------------------------
+# R4 — the deterministic pipeline (everything between FASTA bytes in and
+# m8 bytes out) must not read wall clocks or PRNGs.  The m8 output is
+# contractually byte-identical across threads, schedules, shards and
+# machines; one system_clock read in a tie-break would break the
+# determinism CI matrix only sometimes.  steady_clock is allowed: it
+# feeds PipelineStats timings, which are reporting, not output.
+# --------------------------------------------------------------------------
+
+R4_DIRS = ["core", "align", "index", "compare", "stats", "filter",
+           "seqio", "store"]
+
+R4_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937\b"), "std::mt19937"),
+    (re.compile(r"(?<![\w.])srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w.])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"(?<![\w.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time()"),
+]
+
+
+def check_deterministic_paths() -> None:
+    for path in source_files(*(SRC / d for d in R4_DIRS)):
+        text = strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern, what in R4_PATTERNS:
+                if pattern.search(line):
+                    report("R4-nondeterminism", path, lineno,
+                           f"{what} in a deterministic pipeline directory — "
+                           f"m8 output must be byte-identical across runs")
+
+
+# --------------------------------------------------------------------------
+# R5 — every fuzz target ships a non-empty seed corpus.  A fuzzer that
+# starts from zero bytes spends its CI minute rediscovering the magic
+# number instead of exercising parse logic.
+# --------------------------------------------------------------------------
+
+def check_fuzz_corpora() -> None:
+    fuzz = REPO / "fuzz"
+    if not fuzz.exists():
+        return
+    for target_src in sorted(fuzz.glob("fuzz_*.cpp")):
+        name = target_src.stem.removeprefix("fuzz_")
+        corpus = fuzz / "corpus" / name
+        seeds = [p for p in corpus.glob("*") if p.is_file()] \
+            if corpus.exists() else []
+        if not seeds:
+            report("R5-empty-corpus", target_src, 1,
+                   f"fuzz target '{name}' has no seed corpus in "
+                   f"fuzz/corpus/{name}/")
+
+
+def main() -> int:
+    check_protocol_docs_sync()
+    check_store_writes_framed()
+    check_annotated_locking_only()
+    check_deterministic_paths()
+    check_fuzz_corpora()
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"\n{len(violations)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("check_invariants: all repo invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

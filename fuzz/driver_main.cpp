@@ -1,0 +1,45 @@
+// Corpus-replay driver for builds without libFuzzer (GCC, or Clang
+// without -fsanitize=fuzzer).  Links against the same fuzz_<name>.cpp
+// TU a libFuzzer build would use and replays every file passed on the
+// command line through LLVMFuzzerTestOneInput — the same execution the
+// fuzz-smoke CI job performs, minus mutation.  A crash or uncaught
+// exception is a finding either way.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <corpus file>...\n"
+              << "(replay driver; build with Clang + SCORIS_BUILD_FUZZERS "
+                 "for coverage-guided fuzzing)\n";
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open corpus file: " << argv[i] << '\n';
+      return 2;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    try {
+      LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    } catch (const std::exception& e) {
+      std::cerr << "FINDING " << argv[i] << ": uncaught exception: "
+                << e.what() << '\n';
+      return 1;
+    }
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " corpus file(s), no findings\n";
+  return 0;
+}

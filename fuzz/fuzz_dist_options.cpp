@@ -1,0 +1,9 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return scoris::fuzztargets::dist_options(data, size);
+}

@@ -1,0 +1,35 @@
+// Fuzz entry points for every scoris parser that consumes untrusted
+// bytes: the scorisd client protocol, the worker-protocol payload
+// codecs, the .scix artifact container, spill-run streams, and the
+// FASTA reader.
+//
+// Each function is the body of one libFuzzer target (the thin
+// fuzz_<name>.cpp TUs wrap them in LLVMFuzzerTestOneInput), shared so
+// the same code also runs under the corpus-replay regression test and
+// the non-libFuzzer driver build.  The contract per target: *expected*
+// parse failures (the documented exception type of the parser under
+// test) are swallowed; anything else — logic_error, bad_alloc from an
+// unbounded allocation, a signal — escapes and counts as a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scoris::fuzztargets {
+
+/// net::read_frame + PayloadReader over a socketpair fed `data`.
+int frame(const std::uint8_t* data, std::size_t size);
+
+/// dist::read_options / read_group / read_group_end payload codecs.
+int dist_options(const std::uint8_t* data, std::size_t size);
+
+/// store::load_index over an in-memory .scix byte stream.
+int scix(const std::uint8_t* data, std::size_t size);
+
+/// core::exec::SpillRunReader over seekable AND non-seekable streams.
+int spill_run(const std::uint8_t* data, std::size_t size);
+
+/// seqio::read_fasta_string.
+int fasta(const std::uint8_t* data, std::size_t size);
+
+}  // namespace scoris::fuzztargets

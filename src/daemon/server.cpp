@@ -9,6 +9,7 @@
 
 #include "compare/m8.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 #include "seqio/fasta.hpp"
 #include "util/timer.hpp"
 
@@ -112,9 +113,9 @@ struct Server::Shared {
 
   // Drain coordination and counters.  `active` is decremented under the
   // mutex so the drain wait cannot miss the final notify.
-  std::mutex mu;
-  std::condition_variable cv;
-  ServerCounters counters;
+  util::Mutex mu;
+  util::CondVar cv;
+  ServerCounters counters SCORIS_GUARDED_BY(mu);
 
   bool admit() {
     std::size_t current = active.load(std::memory_order_relaxed);
@@ -129,14 +130,14 @@ struct Server::Shared {
 
   void release() {
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       active.fetch_sub(1, std::memory_order_acq_rel);
     }
     cv.notify_all();
   }
 
   void count(std::uint64_t ServerCounters::* field) {
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     counters.*field += 1;
   }
 };
@@ -172,7 +173,7 @@ const net::Endpoint& Server::endpoint() const {
 }
 
 ServerCounters Server::counters() const {
-  std::lock_guard lock(shared_->mu);
+  util::MutexLock lock(shared_->mu);
   return shared_->counters;
 }
 
@@ -226,10 +227,10 @@ void Server::serve() {
   // their DONE; idle handlers see the (never-drained) wake byte and
   // exit.
   listener_.close();
-  std::unique_lock lock(shared.mu);
-  shared.cv.wait(lock, [&shared] {
-    return shared.active.load(std::memory_order_acquire) == 0;
-  });
+  util::MutexLock lock(shared.mu);
+  while (shared.active.load(std::memory_order_acquire) != 0) {
+    shared.cv.wait(shared.mu);
+  }
 }
 
 void Server::handle_client(std::shared_ptr<Shared> shared,

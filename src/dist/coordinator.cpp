@@ -1,11 +1,9 @@
 #include "dist/coordinator.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <istream>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -19,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "seqio/serialize.hpp"
 #include "stats/karlin.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace scoris::dist {
@@ -73,19 +72,26 @@ obs::Logger& silent_logger() {
 /// so every task is eventually completed by *someone* — the local
 /// executor in the worst case.
 struct TaskQueue {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<GroupTask> pending;
-  std::size_t completed = 0;
-  std::size_t total = 0;
-  bool failed = false;
-  std::string error;
+  util::Mutex mu;
+  util::CondVar cv;
+  std::deque<GroupTask> pending SCORIS_GUARDED_BY(mu);
+  std::size_t completed SCORIS_GUARDED_BY(mu) = 0;
+  std::size_t total SCORIS_GUARDED_BY(mu) = 0;
+  bool failed SCORIS_GUARDED_BY(mu) = false;
+  std::string error SCORIS_GUARDED_BY(mu);
+
+  /// Seed the queue before any executor thread starts.
+  void init(std::deque<GroupTask> tasks) {
+    util::MutexLock lock(mu);
+    total = tasks.size();
+    pending = std::move(tasks);
+  }
 
   /// Pop for a remote worker: never waits — an empty queue means the
   /// remaining tasks are in flight elsewhere, and a remote thread with
   /// nothing to take is done for good.
   [[nodiscard]] bool try_pop(GroupTask& task) {
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     if (failed || pending.empty()) return false;
     task = pending.front();
     pending.pop_front();
@@ -96,10 +102,8 @@ struct TaskQueue {
   /// worker may yet requeue one) or everything completed or failed.
   /// Returns false when the search is over.
   [[nodiscard]] bool wait_pop(GroupTask& task) {
-    std::unique_lock lock(mu);
-    cv.wait(lock, [this] {
-      return failed || completed == total || !pending.empty();
-    });
+    util::MutexLock lock(mu);
+    while (!failed && completed != total && pending.empty()) cv.wait(mu);
     if (failed || pending.empty()) return false;
     task = pending.front();
     pending.pop_front();
@@ -108,7 +112,7 @@ struct TaskQueue {
 
   void complete() {
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       ++completed;
     }
     cv.notify_all();
@@ -118,7 +122,7 @@ struct TaskQueue {
   /// oldest outstanding work and the merge cannot finish without it.
   void requeue(const GroupTask& task) {
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       pending.push_front(task);
     }
     cv.notify_all();
@@ -126,7 +130,7 @@ struct TaskQueue {
 
   void fail(const std::string& what) {
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       if (!failed) {
         failed = true;
         error = what;
@@ -136,7 +140,7 @@ struct TaskQueue {
   }
 
   [[nodiscard]] bool is_failed() {
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     return failed;
   }
 };
@@ -151,8 +155,8 @@ struct DistShared {
   DistConfig config;
   obs::TraceRecorder* trace = nullptr;
   TaskQueue queue;
-  std::mutex merge_mu;            // guards merger->add_run
-  core::exec::RunMerger* merger = nullptr;
+  util::Mutex merge_mu;
+  core::exec::RunMerger* merger SCORIS_PT_GUARDED_BY(merge_mu) = nullptr;
 
   [[nodiscard]] obs::Logger& log() const {
     return config.logger != nullptr ? *config.logger : silent_logger();
@@ -277,7 +281,7 @@ void run_remote_group(DistShared& shared, net::Socket& sock,
                      obs::kv("bytes", end.run_bytes),
                      obs::kv("seconds", timer.seconds())});
   {
-    std::lock_guard lock(shared.merge_mu);
+    util::MutexLock lock(shared.merge_mu);
     shared.merger->add_run(std::move(run),
                            static_cast<std::size_t>(task.id));
   }
@@ -412,8 +416,7 @@ SearchOutcome run_distributed(const Session& session,
   mcfg.tmp_dir = shared.options.tmp_dir;
   core::exec::RunMerger merger(std::move(mcfg), groups.size());
   shared.merger = &merger;
-  shared.queue.total = groups.size();
-  for (const GroupTask& task : groups) shared.queue.pending.push_back(task);
+  shared.queue.init({groups.begin(), groups.end()});
 
   shared.log().info(
       "distributed search",
@@ -459,7 +462,7 @@ SearchOutcome run_distributed(const Session& session,
       local_stats.simd_kernel = result.stats.simd_kernel;
       DistMetrics::get().groups_local.inc();
       {
-        std::lock_guard lock(shared.merge_mu);
+        util::MutexLock lock(shared.merge_mu);
         merger.add_run(std::move(result.alignments),
                        static_cast<std::size_t>(task.id));
       }
@@ -473,7 +476,7 @@ SearchOutcome run_distributed(const Session& session,
   }
   for (std::thread& t : threads) t.join();
   {
-    std::lock_guard lock(shared.queue.mu);
+    util::MutexLock lock(shared.queue.mu);
     if (shared.queue.failed) {
       throw std::runtime_error("distributed search failed: " +
                                shared.queue.error);

@@ -1,10 +1,8 @@
 #include "dist/worker.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <filesystem>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -20,6 +18,7 @@
 #include "seqio/serialize.hpp"
 #include "stats/karlin.hpp"
 #include "store/index_store.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threading.hpp"
 #include "util/timer.hpp"
 
@@ -95,9 +94,9 @@ struct Worker::Shared {
     return *s;
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  WorkerCounters counters;
+  util::Mutex mu;
+  util::CondVar cv;
+  WorkerCounters counters SCORIS_GUARDED_BY(mu);
 
   bool admit() {
     std::size_t current = active.load(std::memory_order_relaxed);
@@ -112,14 +111,14 @@ struct Worker::Shared {
 
   void release() {
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       active.fetch_sub(1, std::memory_order_acq_rel);
     }
     cv.notify_all();
   }
 
   void count(std::uint64_t WorkerCounters::* field) {
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     counters.*field += 1;
   }
 };
@@ -151,7 +150,7 @@ const net::Endpoint& Worker::endpoint() const {
 }
 
 WorkerCounters Worker::counters() const {
-  std::lock_guard lock(shared_->mu);
+  util::MutexLock lock(shared_->mu);
   return shared_->counters;
 }
 
@@ -189,10 +188,10 @@ void Worker::serve() {
         .detach();
   }
   listener_.close();
-  std::unique_lock lock(shared.mu);
-  shared.cv.wait(lock, [&shared] {
-    return shared.active.load(std::memory_order_acquire) == 0;
-  });
+  util::MutexLock lock(shared.mu);
+  while (shared.active.load(std::memory_order_acquire) != 0) {
+    shared.cv.wait(shared.mu);
+  }
 }
 
 namespace {

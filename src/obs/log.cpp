@@ -140,7 +140,7 @@ void Logger::log(LogLevel level, std::string_view message,
     append_value(line, field.value);
   }
   line.push_back('\n');
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   (*out_) << line << std::flush;
 }
 

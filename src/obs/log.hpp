@@ -15,14 +15,16 @@
 // output in-process.
 #pragma once
 
+#include <atomic>
 #include <fstream>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace scoris::obs {
 
@@ -70,10 +72,18 @@ class Logger {
   Logger(const Logger&) = delete;
   Logger& operator=(const Logger&) = delete;
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  // level_ is atomic, not mu_-guarded: enabled() sits on every hot
+  // logging path and must not contend with the line-write mutex while
+  // a CLI/SIGHUP handler calls set_level concurrently.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return static_cast<int>(level) <= static_cast<int>(level_);
+    return static_cast<int>(level) <=
+           static_cast<int>(level_.load(std::memory_order_relaxed));
   }
 
   void log(LogLevel level, std::string_view message,
@@ -94,9 +104,9 @@ class Logger {
 
  private:
   std::unique_ptr<std::ofstream> file_;  ///< set only for file loggers
-  std::ostream* out_;
-  LogLevel level_;
-  std::mutex mu_;
+  util::Mutex mu_;
+  std::ostream* out_ SCORIS_PT_GUARDED_BY(mu_);
+  std::atomic<LogLevel> level_;
 };
 
 /// RFC3339 UTC timestamp with millisecond precision, e.g.

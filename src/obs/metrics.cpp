@@ -72,7 +72,7 @@ Registry::Entry& Registry::entry(const std::string& name,
 }
 
 Counter& Registry::counter(const std::string& name, const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Entry& e = entry(name, help, Kind::kCounter);
   if (!e.counter) {
     e.counter = std::make_unique<Counter>();
@@ -81,7 +81,7 @@ Counter& Registry::counter(const std::string& name, const std::string& help) {
 }
 
 Gauge& Registry::gauge(const std::string& name, const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Entry& e = entry(name, help, Kind::kGauge);
   if (!e.gauge) {
     e.gauge = std::make_unique<Gauge>();
@@ -91,7 +91,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& help) {
 
 Histogram& Registry::histogram(const std::string& name, const std::string& help,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Entry& e = entry(name, help, Kind::kHistogram);
   if (!e.histogram) {
     e.histogram = std::make_unique<Histogram>(std::move(bounds));
@@ -100,7 +100,7 @@ Histogram& Registry::histogram(const std::string& name, const std::string& help,
 }
 
 std::string Registry::render_prometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, e] : entries_) {
     if (!e.help.empty()) {

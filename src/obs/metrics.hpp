@@ -29,10 +29,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace scoris::obs {
 
@@ -155,10 +156,12 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& entry(const std::string& name, const std::string& help, Kind kind);
+  Entry& entry(const std::string& name, const std::string& help, Kind kind)
+      SCORIS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  ///< ordered: stable rendering
+  mutable util::Mutex mu_;
+  /// Ordered map: stable rendering.
+  std::map<std::string, Entry> entries_ SCORIS_GUARDED_BY(mu_);
 };
 
 }  // namespace scoris::obs

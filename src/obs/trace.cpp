@@ -64,13 +64,13 @@ void TraceRecorder::record(std::string name,
       duration_cast<microseconds>(end < start ? microseconds(0)
                                               : end - start)
           .count());
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   event.tid = thread_index_locked(std::this_thread::get_id());
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_;
 }
 

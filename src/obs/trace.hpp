@@ -12,10 +12,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace scoris::obs {
 
@@ -46,12 +47,12 @@ class TraceRecorder {
   void write_chrome_json(const std::string& path) const;
 
  private:
-  int thread_index_locked(std::thread::id id);
+  int thread_index_locked(std::thread::id id) SCORIS_REQUIRES(mu_);
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::map<std::thread::id, int> thread_ids_;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> events_ SCORIS_GUARDED_BY(mu_);
+  std::map<std::thread::id, int> thread_ids_ SCORIS_GUARDED_BY(mu_);
 };
 
 /// RAII span; records on destruction.  All operations are no-ops when

@@ -1,5 +1,6 @@
 #include "store/format.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -199,26 +200,51 @@ SectionReader::SectionReader(std::istream& is, const std::string& what)
       store::read_u32(is, what_ + ": " + tag_name());
   // The length field is untrusted: bound it by the bytes actually left in
   // the stream before allocating, or a flipped length bit turns into a
-  // multi-GB zero-fill / bad_alloc instead of a named diagnostic.  (On a
-  // non-seekable stream the probe reports -1 and we fall through to the
-  // read-failure path below.)
+  // multi-GB zero-fill / bad_alloc instead of a named diagnostic.
   const std::istream::pos_type here = is.tellg();
+  bool bounded = false;
   if (here != std::istream::pos_type(-1)) {
     is.seekg(0, std::ios::end);
     const std::istream::pos_type end = is.tellg();
     is.seekg(here);
-    if (end != std::istream::pos_type(-1) &&
-        size > static_cast<std::uint64_t>(end - here)) {
+    if (end != std::istream::pos_type(-1)) {
+      if (size > static_cast<std::uint64_t>(end - here)) {
+        throw std::runtime_error(what_ + ": truncated " + tag_name() +
+                                 " section");
+      }
+      bounded = true;
+    }
+  }
+  if (bounded) {
+    payload_->resize(static_cast<std::size_t>(size));
+    is.read(reinterpret_cast<char*>(payload_->data()),
+            static_cast<std::streamsize>(payload_->size()));
+    if (!is) {
       throw std::runtime_error(what_ + ": truncated " + tag_name() +
                                " section");
     }
-  }
-  payload_->resize(static_cast<std::size_t>(size));
-  is.read(reinterpret_cast<char*>(payload_->data()),
-          static_cast<std::streamsize>(payload_->size()));
-  if (!is) {
-    throw std::runtime_error(what_ + ": truncated " + tag_name() +
-                             " section");
+  } else {
+    // Non-seekable stream (e.g. a socket-backed streambuf carrying a
+    // remote worker's run): the length cannot be validated against a
+    // stream end, so never allocate it up front — a lying u64 would be
+    // a remote-triggered multi-GB resize (found by the spill_run fuzz
+    // harness).  Grow with the bytes that actually arrive; EOF before
+    // `size` bytes is the same truncation diagnostic as above.
+    constexpr std::size_t kChunk = std::size_t{4} << 20;
+    std::uint64_t left = size;
+    while (left > 0) {
+      const std::size_t step =
+          static_cast<std::size_t>(std::min<std::uint64_t>(left, kChunk));
+      const std::size_t old = payload_->size();
+      payload_->resize(old + step);
+      is.read(reinterpret_cast<char*>(payload_->data() + old),
+              static_cast<std::streamsize>(step));
+      if (static_cast<std::size_t>(is.gcount()) < step || !is) {
+        throw std::runtime_error(what_ + ": truncated " + tag_name() +
+                                 " section");
+      }
+      left -= step;
+    }
   }
   if (crc32(*payload_) != expect_crc) {
     throw std::runtime_error(what_ + ": checksum mismatch in " + tag_name() +

@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace scoris::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mu;
+Mutex g_mu;  // serializes whole lines onto stderr
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,7 +26,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard lock(g_mu);
+  MutexLock lock(g_mu);
   std::cerr << "[" << level_tag(level) << "] " << msg << '\n';
 }
 

@@ -1,0 +1,147 @@
+// Compile-time lock-discipline proofs: Clang thread-safety annotation
+// macros plus the annotated synchronization wrappers the whole codebase
+// locks through.
+//
+// Every past scoris concurrency bug (the wait_idle race, the daemon
+// drain ordering) was found *after* the code ran, by tests or TSan —
+// tools that only see executed interleavings.  Clang's thread-safety
+// analysis (-Wthread-safety) proves lock discipline statically: a field
+// declared SCORIS_GUARDED_BY(mu) cannot be touched on any path, taken
+// or not, without `mu` held, or the build breaks.  Configure with
+// -DSCORIS_THREAD_SAFETY=ON (Clang only) to promote the warnings to
+// errors; on GCC and MSVC every macro expands to nothing and the
+// wrappers degenerate to the plain std types they hold.
+//
+// The std types themselves are NOT annotated in libstdc++, so the
+// analysis cannot see through std::mutex / std::lock_guard.  The
+// wrappers below carry the attributes instead:
+//
+//   util::Mutex      — std::mutex with ACQUIRE/RELEASE-annotated
+//                      lock()/unlock(); the capability fields refer to.
+//   util::MutexLock  — RAII guard (SCOPED_CAPABILITY): the only way
+//                      code in this repo takes a Mutex.  Naked .lock()
+//                      calls are additionally rejected by
+//                      ci/lint/check_invariants.py.
+//   util::CondVar    — std::condition_variable waiting on a held Mutex
+//                      (REQUIRES-annotated); use while-loop predicates:
+//
+//                        MutexLock lock(mu_);
+//                        while (!ready_) cv_.wait(mu_);
+//
+// check_invariants.py also forbids raw std::mutex/std::condition_variable
+// members outside this header, so new concurrent state cannot silently
+// opt out of the analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability) && __has_attribute(guarded_by)
+#define SCORIS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SCORIS_THREAD_ANNOTATION
+#define SCORIS_THREAD_ANNOTATION(x)  // non-Clang: annotations vanish
+#endif
+
+/// A type that acts as a lock/role protecting guarded state.
+#define SCORIS_CAPABILITY(x) SCORIS_THREAD_ANNOTATION(capability(x))
+/// An RAII type that acquires on construction, releases on destruction.
+#define SCORIS_SCOPED_CAPABILITY SCORIS_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be accessed while holding the named capability.
+#define SCORIS_GUARDED_BY(x) SCORIS_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field whose *pointee* is protected by the capability.
+#define SCORIS_PT_GUARDED_BY(x) SCORIS_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability held on entry (and keeps it held).
+#define SCORIS_REQUIRES(...) \
+  SCORIS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (must not already be held).
+#define SCORIS_ACQUIRE(...) \
+  SCORIS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define SCORIS_RELEASE(...) \
+  SCORIS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns the given value.
+#define SCORIS_TRY_ACQUIRE(...) \
+  SCORIS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define SCORIS_EXCLUDES(...) \
+  SCORIS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Document lock-ordering edges between capabilities.
+#define SCORIS_ACQUIRED_BEFORE(...) \
+  SCORIS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SCORIS_ACQUIRED_AFTER(...) \
+  SCORIS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Escape hatch — use only with a comment explaining why the analysis
+/// cannot see the invariant.
+#define SCORIS_NO_THREAD_SAFETY_ANALYSIS \
+  SCORIS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace scoris::util {
+
+/// std::mutex carrying the "mutex" capability.  Lock it with MutexLock;
+/// the public lock()/unlock() exist for the analysis contract and for
+/// std interop, not for direct calls (the invariants lint enforces
+/// RAII-only usage).
+class SCORIS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SCORIS_ACQUIRE() { m_.lock(); }
+  void unlock() SCORIS_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() SCORIS_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock over a Mutex — the repo's only sanctioned way to hold one.
+class SCORIS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SCORIS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SCORIS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex.  wait() takes the *mutex*
+/// (which the caller must hold, typically via a MutexLock in scope) and
+/// returns with it held again; spurious wakeups are expected, so every
+/// call site loops on its predicate:
+///
+///   MutexLock lock(mu_);
+///   while (!done_) cv_.wait(mu_);
+///
+/// Internally this adopts the held std::mutex into a unique_lock for
+/// std::condition_variable and releases it back untouched — zero
+/// overhead versus the unannotated idiom.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) SCORIS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.m_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();  // still locked; MutexLock in the caller releases
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace scoris::util

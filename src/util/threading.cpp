@@ -57,22 +57,22 @@ class TaskBatch {
     // notify_all under the lock: the waiter may destroy the batch the
     // moment the predicate holds, so the cv must not be touched after
     // the lock is released.
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (error && !error_) error_ = error;
     if (--remaining_ == 0) cv_.notify_all();
   }
 
   void wait() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return remaining_ == 0; });
+    MutexLock lock(mu_);
+    while (remaining_ != 0) cv_.wait(mu_);
     if (error_) std::rethrow_exception(error_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t remaining_;
-  std::exception_ptr error_;
+  Mutex mu_;
+  CondVar cv_;
+  std::size_t remaining_ SCORIS_GUARDED_BY(mu_);
+  std::exception_ptr error_ SCORIS_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -87,7 +87,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -95,25 +95,30 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // The gauge rises before the task becomes poppable: a worker that
+  // pops and decrements immediately must never observe a count this
+  // submit has not yet added (the gauge would transiently read
+  // negative — the lock-discipline audit in PR 10 caught the old
+  // push-then-add order doing exactly that).
+  PoolMetrics::get().queue_depth.add(1);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
   }
-  PoolMetrics::get().queue_depth.add(1);
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!tasks_.empty() || in_flight_ != 0) cv_idle_.wait(mu_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -123,7 +128,7 @@ void ThreadPool::worker_loop() {
     PoolMetrics::get().tasks.inc();
     task();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -192,7 +197,7 @@ bool WorkStealingQueue::pop(std::size_t worker, std::size_t& task) {
   worker %= n;
   {
     PerWorker& own = deques_[worker];
-    std::lock_guard lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       task = own.tasks.front();
       own.tasks.pop_front();
@@ -201,7 +206,7 @@ bool WorkStealingQueue::pop(std::size_t worker, std::size_t& task) {
   }
   for (std::size_t k = 1; k < n; ++k) {
     PerWorker& victim = deques_[(worker + k) % n];
-    std::lock_guard lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       task = victim.tasks.back();
       victim.tasks.pop_back();

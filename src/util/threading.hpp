@@ -8,14 +8,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace scoris::util {
 
@@ -54,12 +54,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;   // signalled when a task is available
-  std::condition_variable cv_idle_;   // signalled when the pool may be idle
-  std::size_t in_flight_ = 0;         // tasks popped but not yet finished
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ SCORIS_GUARDED_BY(mu_);
+  CondVar cv_task_;  // signalled when a task is available
+  CondVar cv_idle_;  // signalled when the pool may be idle
+  /// Tasks popped but not yet finished.
+  std::size_t in_flight_ SCORIS_GUARDED_BY(mu_) = 0;
+  bool stop_ SCORIS_GUARDED_BY(mu_) = false;
 };
 
 /// Run `fn(chunk_begin, chunk_end)` over [begin, end) split into
@@ -110,8 +111,8 @@ class WorkStealingQueue {
 
  private:
   struct PerWorker {
-    std::deque<std::size_t> tasks;
-    std::mutex mu;
+    Mutex mu;
+    std::deque<std::size_t> tasks SCORIS_GUARDED_BY(mu);
   };
   std::vector<PerWorker> deques_;
   std::atomic<std::size_t> stolen_{0};

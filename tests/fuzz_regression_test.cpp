@@ -1,0 +1,242 @@
+// Fuzz-derived regression tests, run in the tier-1 suite.
+//
+// Two layers: (1) every checked-in seed corpus file replays through its
+// fuzz target function — the exact inputs the fuzz harnesses start
+// from, including the crafted truncations / flipped CRCs / future
+// versions, must keep parsing to a *named* error forever; (2) pinned
+// assertions for the specific parser hardenings the fuzz work produced
+// (most notably the SectionReader non-seekable length bomb), asserting
+// the diagnostic, not just "some exception".
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "core/exec/run_merge.hpp"
+#include "core/options.hpp"
+#include "dist/protocol.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "store/format.hpp"
+#include "store/index_store.hpp"
+#include "targets.hpp"
+
+namespace fs = std::filesystem;
+using namespace scoris;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Non-seekable read-only memory stream: tellg() == -1, like a
+/// socket-backed streambuf.
+class WireStream : public std::streambuf {
+ public:
+  explicit WireStream(const std::string& bytes) : bytes_(bytes) {
+    char* p = bytes_.data();
+    setg(p, p, p + bytes_.size());
+  }
+
+ private:
+  std::string bytes_;
+};
+
+// --- corpus replay ---------------------------------------------------------
+
+using TargetFn = int (*)(const std::uint8_t*, std::size_t);
+
+struct CorpusCase {
+  const char* dir;
+  TargetFn fn;
+};
+
+class CorpusReplay : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorpusReplay, EverySeedParsesToNamedErrorOrSuccess) {
+  const fs::path corpus = fs::path(SCORIS_FUZZ_CORPUS_DIR) / GetParam().dir;
+  ASSERT_TRUE(fs::exists(corpus)) << corpus << " missing — regenerate with "
+                                  << "scoris_fuzz_seed_gen fuzz/corpus";
+  std::size_t replayed = 0;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string bytes = read_file(entry.path());
+    // The target functions swallow the documented parse-failure type
+    // and let everything else escape; an escape fails this test with
+    // the seed's name attached.
+    EXPECT_NO_THROW((void)GetParam().fn(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()))
+        << "seed " << entry.path().filename();
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0u) << "empty corpus directory: " << corpus;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, CorpusReplay,
+    ::testing::Values(CorpusCase{"frame", fuzztargets::frame},
+                      CorpusCase{"dist_options", fuzztargets::dist_options},
+                      CorpusCase{"scix", fuzztargets::scix},
+                      CorpusCase{"spill_run", fuzztargets::spill_run},
+                      CorpusCase{"fasta", fuzztargets::fasta}),
+    [](const ::testing::TestParamInfo<CorpusCase>& info) {
+      return std::string(info.param.dir);
+    });
+
+// --- pinned hardening regressions ------------------------------------------
+
+// A section header on a NON-seekable stream claiming a terabyte payload
+// must diagnose truncation when the stream ends — never pre-allocate
+// the lying length.  (On a seekable stream the length is bounded
+// against the stream end up front; a socket has no end to bound
+// against, which is the case the spill_run fuzz harness hit.)
+TEST(FuzzRegression, SectionReaderLyingLengthOnWireStream) {
+  std::string bytes = "LIAR";
+  const std::uint64_t lying_size = std::uint64_t{1} << 40;
+  bytes.append(reinterpret_cast<const char*>(&lying_size),
+               sizeof(lying_size));
+  const std::uint32_t crc = 0;
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes.append(64, 'x');  // far fewer than the promised 2^40
+
+  WireStream buf(bytes);
+  std::istream is(&buf);
+  ASSERT_EQ(is.tellg(), std::istream::pos_type(-1))
+      << "test stream must be non-seekable to cover the wire path";
+  const auto before = std::chrono::steady_clock::now();
+  try {
+    store::SectionReader section(is, "lying length");
+    FAIL() << "a 2^40-byte section claim over 76 real bytes parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << "diagnostic should name truncation, got: " << e.what();
+  }
+  // Guard the "never allocate up front" half: zero-filling a terabyte
+  // would take minutes or die in bad_alloc; the chunked read fails on
+  // the first short chunk.
+  EXPECT_LT(std::chrono::steady_clock::now() - before,
+            std::chrono::seconds(10));
+}
+
+// The same seekable/non-seekable pair must agree on a valid spill run.
+TEST(FuzzRegression, SpillRunReadsIdenticallySeekableAndNot) {
+  std::vector<align::GappedAlignment> run(7);
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    run[i].s1 = static_cast<seqio::Pos>(i);
+    run[i].e1 = static_cast<seqio::Pos>(i + 10);
+    run[i].score = static_cast<std::int32_t>(50 + i);
+  }
+  std::ostringstream os(std::ios::binary);
+  (void)core::exec::write_spill_run(os, run, 3);
+  const std::string bytes = os.str();
+
+  std::vector<align::GappedAlignment> seekable;
+  {
+    std::istringstream is(bytes, std::ios::binary);
+    core::exec::SpillRunReader reader(is, "seekable");
+    for (auto block = reader.next_block(is); !block.empty();
+         block = reader.next_block(is)) {
+      seekable.insert(seekable.end(), block.begin(), block.end());
+    }
+  }
+  std::vector<align::GappedAlignment> wire;
+  {
+    WireStream buf(bytes);
+    std::istream is(&buf);
+    core::exec::SpillRunReader reader(is, "wire");
+    for (auto block = reader.next_block(is); !block.empty();
+         block = reader.next_block(is)) {
+      wire.insert(wire.end(), block.begin(), block.end());
+    }
+  }
+  ASSERT_EQ(seekable.size(), run.size());
+  ASSERT_EQ(wire.size(), run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    EXPECT_EQ(seekable[i].s1, wire[i].s1);
+    EXPECT_EQ(seekable[i].score, wire[i].score);
+  }
+}
+
+// An oversized frame length prefix must throw NetError before
+// allocating: kMaxFramePayload is the contract the frame corpus seed
+// "oversized_length" fuzzes around.
+TEST(FuzzRegression, OversizedFrameLengthThrowsWithoutAllocating) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string bytes = "ROWS";
+  const std::uint32_t len = 0x7FFFFFFFu;  // ~2 GB claim
+  bytes.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  ASSERT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(fds[1]);
+  net::Socket sock(fds[0]);
+  net::Frame frame;
+  EXPECT_THROW((void)net::read_frame(sock, frame), net::NetError);
+}
+
+// A frame truncated mid-payload must throw NetError (positional
+// truncation detection), not return a short frame.
+TEST(FuzzRegression, TruncatedFramePayloadThrows) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string bytes = "ROWS";
+  const std::uint32_t len = 100;
+  bytes.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  bytes.append("short");  // 5 of the promised 100 bytes
+  ASSERT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(fds[1]);
+  net::Socket sock(fds[0]);
+  net::Frame frame;
+  EXPECT_THROW((void)net::read_frame(sock, frame), net::NetError);
+}
+
+// A future-version options blob must be refused with a message naming
+// the version, per the worker-protocol versioning contract.
+TEST(FuzzRegression, FutureOptionsBlobVersionRefused) {
+  core::Options options;
+  net::PayloadWriter writer;
+  dist::write_options(writer, options);
+  std::vector<std::uint8_t> blob = writer.take();
+  blob.at(0) = 0x63;  // version 99
+  net::PayloadReader reader(blob, "future blob");
+  try {
+    (void)dist::read_options(reader);
+    FAIL() << "a version-99 options blob parsed";
+  } catch (const net::NetError& e) {
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos)
+        << "diagnostic should name the offending version: " << e.what();
+  }
+}
+
+// A CRC-flipped .scix must be blamed on its checksum, not parsed.
+TEST(FuzzRegression, CrcFlippedIndexStoreDiagnosed) {
+  const fs::path seed =
+      fs::path(SCORIS_FUZZ_CORPUS_DIR) / "scix" / "crc_flipped";
+  ASSERT_TRUE(fs::exists(seed));
+  const std::string bytes = read_file(seed);
+  std::istringstream is(bytes, std::ios::binary);
+  try {
+    (void)store::load_index(is, "flipped scix");
+    FAIL() << "a bit-flipped artifact loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << "diagnostic should name the checksum, got: " << e.what();
+  }
+}
+
+}  // namespace

@@ -275,5 +275,48 @@ TEST(TraceTest, ThreadsGetStableSmallIds) {
   EXPECT_NE(main_tid, worker_tid);
 }
 
+// Lock-discipline audit regression (PR 10): max_of's CAS loop must
+// converge on the true maximum under contention — compare_exchange_weak
+// refreshes `cur` on failure and the loop exits as soon as cur >= v, so
+// no thread can regress the gauge or spin forever.  Each thread also
+// drives values in *descending* order to exercise the early-exit arm.
+TEST(GaugeTest, MaxOfConvergesUnderContention) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (std::int64_t v = kPerThread; v >= 1; --v) {
+        gauge.max_of(t * kPerThread + v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(gauge.value(), (kThreads - 1) * kPerThread + kPerThread);
+}
+
+// Logger::set_level vs enabled() is an atomic handoff (PR 10 fixed a
+// plain-field data race there): concurrent level flips while another
+// thread logs must neither tear nor deadlock, and the final level wins.
+TEST(LoggerTest, ConcurrentSetLevelWhileLogging) {
+  std::ostringstream out;
+  Logger logger(out, LogLevel::kInfo);
+  std::thread flipper([&logger] {
+    for (int i = 0; i < 2000; ++i) {
+      logger.set_level(i % 2 == 0 ? LogLevel::kDebug : LogLevel::kError);
+    }
+    logger.set_level(LogLevel::kWarn);
+  });
+  for (int i = 0; i < 2000; ++i) {
+    logger.info("spin", {kv("i", i)});
+  }
+  flipper.join();
+  EXPECT_EQ(logger.level(), LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+}
+
 }  // namespace
 }  // namespace scoris::obs

@@ -6,10 +6,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/threading.hpp"
 
 namespace {
@@ -374,6 +377,47 @@ TEST(ConcurrentPoolCallers, ExceptionsRouteToTheThrowingCallerOnly) {
   for (auto& t : callers) t.join();
   EXPECT_EQ(throwing_caught.load(), 20);
   EXPECT_EQ(clean_ok.load(), 20);
+}
+
+// Regression for the queue-depth gauge ordering bug (PR 10): submit()
+// must raise scoris_pool_queue_depth *before* the task becomes
+// poppable, or a fast worker pops-and-decrements first and a sampler
+// observes a transiently negative depth.  This hammers submit/pop with
+// instant tasks while a sampler thread asserts the gauge never dips
+// below its pre-test floor (other live pools can only add).
+TEST(ThreadPoolStress, QueueDepthGaugeNeverUndershoots) {
+  auto& gauge = scoris::obs::Registry::global().gauge(
+      "scoris_pool_queue_depth");
+  const std::int64_t floor = gauge.value();
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> min_seen{std::numeric_limits<std::int64_t>::max()};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::int64_t v = gauge.value();
+      std::int64_t cur = min_seen.load(std::memory_order_relaxed);
+      while (v < cur &&
+             !min_seen.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+      }
+    }
+  });
+  {
+    scoris::util::ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    submitters.reserve(4);
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&pool] {
+        for (int i = 0; i < 2000; ++i) pool.submit([] {});
+      });
+    }
+    for (auto& t : submitters) t.join();
+    pool.wait_idle();
+  }
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_GE(min_seen.load(), floor)
+      << "queue-depth gauge undershot its floor: submit() must add "
+         "before push";
 }
 
 }  // namespace
